@@ -1,0 +1,44 @@
+"""A3/A5 — ablations: Monte Carlo size, PCM count and regression mode.
+
+Regenerates the design-space tables: how many simulated golden devices the
+pre-manufacturing stage needs, whether a second PCM helps, and whether the
+consistent latent-gain regression matters compared to the paper-literal
+independent per-fingerprint MARS models.
+"""
+
+from repro.experiments.ablations import (
+    ablate_design,
+    ablate_regression_mode,
+    format_rows,
+)
+
+
+def test_ablation_design(benchmark, bench_config):
+    def run():
+        return ablate_design(
+            n_monte_carlo=(25, 50, 100),
+            pcm_counts=(1, 2),
+            base_config=bench_config,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_rows(rows, "A3: Monte Carlo size / PCM count (boundary B5)"))
+    assert len(rows) == 5
+    assert all(row.fp_count == 0 for row in rows)
+
+
+def test_ablation_regression_mode(benchmark, paper_data, bench_config):
+    rows = benchmark.pedantic(
+        lambda: ablate_regression_mode(data=paper_data, base_config=bench_config),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_rows(rows, "A5: regression mode (boundary B5)"))
+    by_label = {row.label: row for row in rows}
+    latent = by_label["B5 with latent_gain regression"]
+    independent = by_label["B5 with independent regression"]
+    # The consistent latent-gain regression is the reason B5 admits the
+    # Trojan-free devices; independent per-output fits must not beat it.
+    assert latent.fn_count <= independent.fn_count

@@ -1,0 +1,25 @@
+"""A4 — ablation: process-drift sweep.
+
+Regenerates the drift sensitivity series: as the foundry operating point
+drifts away from the Spice deck, the simulation-only boundary B1 collapses
+(FN -> all) while the golden chip-free pipeline B5 stays anchored through
+the PCMs.
+"""
+
+from repro.experiments.ablations import ablate_drift, format_rows
+
+
+def test_ablation_drift(benchmark, bench_config):
+    def run():
+        return ablate_drift(drift_scales=(0.0, 0.25, 0.45, 0.7), base_config=bench_config)
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_rows(series["B1"], "A4: drift sweep — simulation-only boundary B1"))
+    print()
+    print(format_rows(series["B5"], "A4: drift sweep — golden chip-free boundary B5"))
+
+    # At the nominal drift (0.45) B1 must be far worse than B5.
+    b1_at_drift = next(r for r in series["B1"] if "0.45" in r.label)
+    b5_at_drift = next(r for r in series["B5"] if "0.45" in r.label)
+    assert b1_at_drift.fn_count > b5_at_drift.fn_count

@@ -1,0 +1,25 @@
+"""A1 — ablation: adaptive-KDE alpha and synthetic volume M' for B5.
+
+Regenerates the tail-modeling sensitivity table: alpha = 0 disables the
+adaptive local bandwidths (plain Silverman KDE), larger alpha widens the
+tails; M' sweeps the synthetic population size of S5.
+"""
+
+from repro.experiments.ablations import ablate_kde, format_rows
+
+
+def test_ablation_kde(benchmark, paper_data, bench_config):
+    def run():
+        return ablate_kde(
+            data=paper_data,
+            alphas=(0.0, 0.25, 0.5, 1.0),
+            sample_sizes=(1_000, 10_000, 30_000),
+            base_config=bench_config,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_rows(rows, "A1: KDE tail modeling (boundary B5)"))
+    assert len(rows) == 7
+    # No Trojan may escape at any setting.
+    assert all(row.fp_count == 0 for row in rows)

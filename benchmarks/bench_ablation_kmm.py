@@ -1,0 +1,22 @@
+"""A2 — ablation: KMM vs naive PCM-population shifts for boundary B5.
+
+Regenerates the covariate-shift table: the same regression + KDE + boundary
+machinery fed with (i) unshifted simulated PCMs, (ii) plain mean-shifted
+PCMs, (iii) the paper's kernel-mean-matching importance resample.
+"""
+
+from repro.experiments.ablations import ablate_kmm, format_rows
+
+
+def test_ablation_kmm(benchmark, paper_data, bench_config):
+    rows = benchmark.pedantic(
+        lambda: ablate_kmm(data=paper_data, base_config=bench_config),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_rows(rows, "A2: PCM population calibration (boundary B5)"))
+    assert len(rows) == 3
+    by_label = {row.label: row for row in rows}
+    # Calibrated variants must not be worse than no calibration at all.
+    assert by_label["B5 via KMM (paper)"].fn_count <= by_label["B5 via no shift"].fn_count

@@ -1,0 +1,39 @@
+"""A7 — ablations: one-class classifier choice and tail-modeling family.
+
+Regenerates two comparison tables:
+
+* the paper's one-class SVM vs a Mahalanobis elliptic envelope as the
+  trusted-region learner (the paper leaves the classifier choice open);
+* the paper's adaptive Epanechnikov KDE vs a generalized-Pareto radial
+  tail model as the S4 -> S5 enhancement.
+"""
+
+from repro.experiments.ablations import (
+    ablate_boundary_method,
+    ablate_tail_enhancer,
+    format_rows,
+)
+
+
+def test_ablation_boundary_method(benchmark, paper_data, bench_config):
+    rows = benchmark.pedantic(
+        lambda: ablate_boundary_method(data=paper_data, base_config=bench_config),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_rows(rows, "A7a: one-class classifier for B5"))
+    assert len(rows) == 2
+    assert all(row.fp_count == 0 for row in rows)
+
+
+def test_ablation_tail_enhancer(benchmark, paper_data, bench_config):
+    rows = benchmark.pedantic(
+        lambda: ablate_tail_enhancer(data=paper_data, base_config=bench_config),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_rows(rows, "A7b: tail-modeling family for S5"))
+    assert len(rows) == 2
+    assert all(row.fp_count == 0 for row in rows)

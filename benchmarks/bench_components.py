@@ -1,0 +1,64 @@
+"""A6 — component throughput: the statistical kernels of the pipeline.
+
+Times the individual substrates at the sizes the Table-1 run uses, so
+regressions in any one algorithm are visible in isolation:
+
+* adaptive Epanechnikov KDE fit + 10^4-sample draw;
+* one-class SVM fit on a 1500-point whitened population;
+* MARS fit on the 100-device Monte Carlo data;
+* KMM weight computation (100 train x 120 test);
+* full silicon-measurement campaign for one device.
+"""
+
+import numpy as np
+
+from repro.core.datasets import train_regressions
+from repro.learn.ocsvm import OneClassSvm
+from repro.stats.kde import AdaptiveKde
+from repro.stats.kmm import KernelMeanMatcher
+from repro.testbed.campaign import FingerprintCampaign
+from repro.circuits.spicemodel import default_spice_deck
+from repro.silicon.foundry import Foundry
+
+
+def test_kde_fit_and_sample(benchmark, paper_data):
+    fingerprints = paper_data.sim_fingerprints
+
+    def run():
+        kde = AdaptiveKde(alpha=0.5).fit(fingerprints)
+        return kde.sample(10_000, rng=0)
+
+    samples = benchmark(run)
+    assert samples.shape == (10_000, 6)
+
+
+def test_ocsvm_fit(benchmark):
+    data = np.random.default_rng(0).standard_normal((1500, 6))
+    svm = benchmark(lambda: OneClassSvm(nu=0.08, seed=0).fit(data))
+    assert svm.rho_ is not None
+
+
+def test_mars_regression_fit(benchmark, paper_data, bench_config):
+    model = benchmark(
+        lambda: train_regressions(
+            paper_data.sim_pcms, paper_data.sim_fingerprints, bench_config
+        )
+    )
+    assert model.predict(paper_data.sim_pcms).shape == paper_data.sim_fingerprints.shape
+
+
+def test_kmm_weights(benchmark, paper_data):
+    matcher = benchmark(
+        lambda: KernelMeanMatcher(B=10.0).fit(paper_data.sim_pcms, paper_data.dutt_pcms)
+    )
+    assert matcher.weights.shape[0] == paper_data.sim_pcms.shape[0]
+
+
+def test_device_measurement(benchmark):
+    deck = default_spice_deck()
+    campaign = FingerprintCampaign.random_stimuli(nm=6, seed=0, noisy_bench=False)
+    foundry = Foundry(deck_nominal=deck.nominal, variation=deck.variation, seed=0)
+    die = foundry.fabricate_lot(1)[0]
+
+    device = benchmark(lambda: campaign.measure_device(die))
+    assert device.fingerprint.shape == (6,)

@@ -1,0 +1,30 @@
+"""F4 — reproduce Figure 4: PCA geometry of the fabricated and S1..S5 sets.
+
+The paper shows six 3-D scatter plots: the fabricated devices (a) and the
+synthetic golden populations S1..S5 (b)-(f), projected on the top three
+principal components.  The quantitative story reproduced here:
+
+* S1/S2 (simulation-only) sit far from the Trojan-free silicon cloud;
+* S3 (PCM-anchored) moves close; S4 (KMM) and S5 (KDE) refine;
+* S5 covers the Trojan-free cloud while none of the sets covers Trojans.
+"""
+
+from repro.experiments.figure4 import run_figure4
+
+
+def test_figure4_geometry(benchmark, paper_data, bench_config):
+    """Time the Figure-4 analysis and print every panel's geometry."""
+
+    def run():
+        return run_figure4(detector_config=bench_config, data=paper_data)
+
+    figure = benchmark.pedantic(run, rounds=2, iterations=1)
+    print()
+    print(figure.format())
+
+    # The qualitative content of the paper's panels:
+    assert figure.explained_variance_ratio[0] > 0.9
+    assert figure.panels["S1"].centroid_distance_tf > 2.0
+    assert figure.panels["S3"].centroid_distance_tf < figure.panels["S1"].centroid_distance_tf
+    assert figure.panels["S5"].tf_coverage > 0.8
+    assert figure.panels["S5"].ti_coverage < 0.05

@@ -1,0 +1,39 @@
+"""ROC extension — threshold-free quality of the golden chip-free boundary.
+
+Sweeps the decision threshold of B5 and of the golden-chip reference over
+the 120 DUTTs.  Regenerates the operating-curve summary (AUC; best FN at
+zero Trojan escapes) for both, quantifying how much separation quality the
+golden chip-free construction gives up.
+"""
+
+from repro.core.golden import GoldenReferenceDetector
+from repro.experiments.roc import operating_curve
+from repro.experiments.table1 import run_table1
+
+
+def test_operating_curves(benchmark, paper_data, bench_config):
+    result = run_table1(detector_config=bench_config, data=paper_data)
+    b5 = result.detector.boundaries["B5"]
+    golden = GoldenReferenceDetector(bench_config).fit(
+        paper_data.trojan_free_fingerprints()
+    )
+
+    def run():
+        return (
+            operating_curve(b5, paper_data.dutt_fingerprints, paper_data.infested),
+            operating_curve(
+                golden.region, paper_data.dutt_fingerprints, paper_data.infested
+            ),
+        )
+
+    curve_b5, curve_golden = benchmark.pedantic(run, rounds=2, iterations=1)
+    print()
+    print("golden chip-free (B5):")
+    print(curve_b5.format())
+    print("golden-chip reference:")
+    print(curve_golden.format())
+
+    # Both must separate Trojans from clean devices essentially perfectly.
+    assert curve_b5.auc > 0.99
+    assert curve_golden.auc > 0.99
+    assert curve_b5.natural_point.fp_count == 0

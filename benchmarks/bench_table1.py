@@ -1,0 +1,38 @@
+"""T1 — reproduce Table 1: FP/FN of boundaries B1..B5 over 120 DUTTs.
+
+Paper numbers (40 TF / 80 TI devices):
+
+    S1: FP 0/80  FN 40/40        S4: FP 0/80  FN 18/40
+    S2: FP 0/80  FN 40/40        S5: FP 0/80  FN  3/40
+    S3: FP 0/80  FN 24/40
+
+Expected *shape* from this reproduction (synthetic silicon): FP = 0
+everywhere; FN(B1), FN(B2) near-total; FN(B3) >= FN(B4) >= FN(B5); FN(B5)
+near-golden.  See EXPERIMENTS.md for the measured numbers and deviations.
+"""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_full_pipeline(benchmark, paper_data, bench_config):
+    """Time the full three-stage pipeline and print the reproduced table."""
+
+    def run():
+        return run_table1(detector_config=bench_config, data=paper_data)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    print()
+    print(result.format())
+    print(f"matches paper shape: {result.matches_paper_shape()}")
+    assert result.matches_paper_shape()
+
+
+def test_table1_trojan_test_stage(benchmark, paper_data, bench_config):
+    """Time only the deployment-time stage: classifying 120 DUTTs on B5."""
+    result = run_table1(detector_config=bench_config, data=paper_data)
+    detector = result.detector
+
+    verdicts = benchmark(
+        lambda: detector.classify(paper_data.dutt_fingerprints, boundary="B5")
+    )
+    assert verdicts.shape == (120,)

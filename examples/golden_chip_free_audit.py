@@ -1,0 +1,79 @@
+"""Production audit: golden chip-free screening vs a golden-chip reference.
+
+Plays the role of a trust lab receiving a shipment of 120 devices (40 clean,
+80 Trojan-infested — unknown to the lab).  Two detectors screen them:
+
+* **golden chip-free** (this paper): trusted Spice model + PCM measurements
+  + KMM + adaptive-KDE tail modeling -> boundary B5;
+* **golden-chip reference** (the classical method the paper competes with):
+  a one-class SVM trained directly on the measured fingerprints of the 40
+  known-clean devices — the luxury the paper shows you can do without.
+
+The audit prints per-boundary scorecards and the head-to-head comparison.
+
+Run:  python examples/golden_chip_free_audit.py
+"""
+
+import numpy as np
+
+from repro import (
+    DetectorConfig,
+    GoldenChipFreeDetector,
+    PlatformConfig,
+    TrustedRegion,
+    evaluate_detection,
+    format_table1,
+    generate_experiment_data,
+)
+
+
+def main() -> None:
+    config = DetectorConfig(kde_samples=30_000)
+    data = generate_experiment_data(PlatformConfig())
+
+    # ---------------- golden chip-free pipeline ----------------
+    detector = GoldenChipFreeDetector(config)
+    detector.fit_premanufacturing(data.sim_pcms, data.sim_fingerprints)
+    detector.fit_silicon(data.dutt_pcms)
+    results = detector.evaluate(data.dutt_fingerprints, data.infested)
+    print(format_table1(results, title="Golden chip-free screening (B1..B5)"))
+
+    # ---------------- golden-chip reference ----------------
+    golden_fingerprints = data.trojan_free_fingerprints()
+    reference = TrustedRegion(
+        name="golden",
+        nu=config.svm_nu,
+        floor_ratio=config.floor_ratio,
+        noise_floor_rel=config.noise_floor_rel,
+        seed=0,
+    ).fit(golden_fingerprints)
+    ref_metrics = evaluate_detection(
+        reference.predict_trojan_free(data.dutt_fingerprints), data.infested
+    )
+
+    b5 = results["B5"]
+    print("\nHead-to-head on the same 120 DUTTs:")
+    print(f"  golden-chip reference : FP {ref_metrics.as_row()}")
+    print(f"  golden chip-free (B5) : FP {b5.as_row()}")
+    gap = b5.fn_count - ref_metrics.fn_count
+    print(
+        f"\nThe golden chip-free boundary gives up {gap} Trojan-free device(s) "
+        f"relative to the golden-chip reference\nwhile keeping zero Trojan escapes "
+        f"— the paper's headline claim."
+    )
+
+    # ---------------- per-device audit sheet ----------------
+    verdicts = detector.classify(data.dutt_fingerprints, boundary="B5")
+    scores = detector.boundaries["B5"].decision_scores(data.dutt_fingerprints)
+    flagged = np.flatnonzero(~verdicts)
+    print(f"\nDevices flagged by B5 ({flagged.size} of {data.n_devices}), most suspicious first:")
+    order = flagged[np.argsort(scores[flagged])]
+    for index in order[:12]:
+        truth = data.trojan_names[index]
+        print(f"  device #{index:3d}  score {scores[index]:+.4f}  actual: {truth}")
+    if order.size > 12:
+        print(f"  ... and {order.size - 12} more")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Process-shift study: why the golden chip-free anchoring matters.
+
+Sweeps the drift between the trusted Spice deck and the foundry operating
+point and measures, at each drift, how the simulation-only boundary B1 and
+the PCM-anchored boundary B5 classify the Trojan-free devices.
+
+The punchline reproduces the paper's motivation: even a modest process
+drift makes a simulation-trained trusted region reject *every* legitimate
+chip, while the PCM-anchored region follows the silicon.
+
+Run:  python examples/process_shift_study.py
+"""
+
+from dataclasses import replace
+
+from repro import (
+    DetectorConfig,
+    GoldenChipFreeDetector,
+    PlatformConfig,
+    generate_experiment_data,
+)
+
+DRIFT_SCALES = (0.0, 0.15, 0.3, 0.45, 0.6)
+
+
+def run_at_drift(platform: PlatformConfig, config: DetectorConfig):
+    data = generate_experiment_data(platform)
+    detector = GoldenChipFreeDetector(config)
+    detector.fit_premanufacturing(data.sim_pcms, data.sim_fingerprints)
+    detector.fit_silicon(data.dutt_pcms)
+    results = detector.evaluate(data.dutt_fingerprints, data.infested)
+
+    pcm_shift = (
+        (data.dutt_pcms.mean() - data.sim_pcms.mean()) / data.sim_pcms.std()
+    )
+    return pcm_shift, results
+
+
+def main() -> None:
+    base = PlatformConfig()
+    config = DetectorConfig(kde_samples=20_000)
+
+    print("drift   PCM shift   B1 (sim-only)      B5 (golden chip-free)")
+    print("scale   [sigma]     FP      FN          FP      FN")
+    print("-" * 62)
+    for scale in DRIFT_SCALES:
+        pcm_shift, results = run_at_drift(replace(base, drift_scale=scale), config)
+        b1, b5 = results["B1"], results["B5"]
+        print(
+            f"{scale:4.2f}   {pcm_shift:+8.2f}    "
+            f"{b1.fp_count:2d}/80   {b1.fn_count:2d}/40       "
+            f"{b5.fp_count:2d}/80   {b5.fn_count:2d}/40"
+        )
+
+    print(
+        "\nAs the line drifts, B1 rejects more and more legitimate devices "
+        "(its trusted region is\nfrozen at the deck's operating point), while "
+        "B5 stays anchored to silicon through the PCMs\n— without ever seeing "
+        "a golden chip, and without letting a Trojan through."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Golden chip-free statistical side-channel fingerprinting.
+
+A full reproduction of *"Hardware Trojan Detection through Golden Chip-Free
+Statistical Side-Channel Fingerprinting"* (Liu, Huang, Makris, DAC 2014),
+including every substrate the paper's evaluation depends on:
+
+* :mod:`repro.core` — the detection pipeline (boundaries B1..B5);
+* :mod:`repro.crypto` — AES-128 core of the platform chip;
+* :mod:`repro.rf` — UWB transmitter / channel / receiver chain;
+* :mod:`repro.process`, :mod:`repro.silicon`, :mod:`repro.circuits` — the
+  process-variation, foundry and compact-circuit substrates that synthesize
+  the paper's silicon measurements;
+* :mod:`repro.trojans` — the two key-leaking hardware Trojans and the
+  attacker that demonstrates the leak;
+* :mod:`repro.stats`, :mod:`repro.learn` — from-scratch KMM, adaptive
+  Epanechnikov KDE, PCA, one-class SVM and MARS;
+* :mod:`repro.experiments` — the Table 1 / Figure 4 reproductions and
+  ablations.
+
+Quickstart::
+
+    from repro import (DetectorConfig, GoldenChipFreeDetector,
+                       PlatformConfig, generate_experiment_data)
+
+    data = generate_experiment_data(PlatformConfig())
+    detector = GoldenChipFreeDetector(DetectorConfig())
+    detector.fit_premanufacturing(data.sim_pcms, data.sim_fingerprints)
+    detector.fit_silicon(data.dutt_pcms)
+    verdicts = detector.classify(data.dutt_fingerprints)   # True = clean
+"""
+
+from repro.core.boundaries import TrustedRegion
+from repro.core.config import DetectorConfig
+from repro.core.golden import GoldenReferenceDetector
+from repro.core.metrics import DetectionMetrics, evaluate_detection
+from repro.core.pipeline import GoldenChipFreeDetector
+from repro.core.report import format_table1
+from repro.experiments.platformcfg import (
+    ExperimentData,
+    PlatformConfig,
+    generate_experiment_data,
+)
+from repro.experiments.table1 import run_table1
+from repro.experiments.figure4 import run_figure4
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GoldenChipFreeDetector",
+    "DetectorConfig",
+    "GoldenReferenceDetector",
+    "TrustedRegion",
+    "DetectionMetrics",
+    "evaluate_detection",
+    "format_table1",
+    "PlatformConfig",
+    "ExperimentData",
+    "generate_experiment_data",
+    "run_table1",
+    "run_figure4",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Circuit substrate: compact transistor model, gate/path delay, Monte Carlo.
+
+This stands in for the paper's HSpice post-layout simulation.  The detection
+method only needs the *joint statistics* of PCM measurements and side-channel
+fingerprints under process variation, which a physically-motivated compact
+model reproduces: drive currents follow the alpha-power law, delays follow
+CV/I, and every structure shares the same underlying process parameters.
+"""
+
+from repro.circuits.gates import Gate, inverter, nand2, nor2
+from repro.circuits.montecarlo import MonteCarloEngine, MonteCarloResult
+from repro.circuits.mosfet import AlphaPowerMosfet, MosfetPolarity
+from repro.circuits.path import CriticalPath
+from repro.circuits.spicemodel import SpiceDeck, default_spice_deck
+
+__all__ = [
+    "AlphaPowerMosfet",
+    "MosfetPolarity",
+    "Gate",
+    "inverter",
+    "nand2",
+    "nor2",
+    "CriticalPath",
+    "SpiceDeck",
+    "default_spice_deck",
+    "MonteCarloEngine",
+    "MonteCarloResult",
+]

@@ -1,0 +1,133 @@
+"""Spice-level Monte Carlo simulation of golden devices.
+
+This is the paper's pre-manufacturing data source: ``n`` virtual Trojan-free
+devices drawn from the *trusted deck's* process statistics, each measured for
+its PCM vector and side-channel fingerprint.  Simulated measurements are
+noise-free (a simulator has ideal instruments); the model-vs-silicon
+discrepancy comes from the deck nominal, not the bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.circuits.spicemodel import SpiceDeck
+from repro.process.parameters import ProcessParameters
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass
+class SimulatedDie:
+    """A virtual die drawn by one Monte Carlo iteration.
+
+    Exposes the same ``structure_params`` interface as
+    :class:`~repro.silicon.foundry.FabricatedDie`, so the same measurement
+    campaign code runs on simulation and silicon.
+    """
+
+    index: int
+    die_params: ProcessParameters
+    deck: SpiceDeck
+    mismatch_seed: int
+    _structure_cache: Dict[str, ProcessParameters] = field(default_factory=dict, repr=False)
+
+    def structure_params(self, structure: str) -> ProcessParameters:
+        """Local (mismatch) parameters of the named structure, deterministic."""
+        if structure not in self._structure_cache:
+            name_key = np.frombuffer(structure.encode("utf-8"), dtype=np.uint8)
+            seq = np.random.SeedSequence([self.mismatch_seed, *name_key.tolist()])
+            rng = np.random.default_rng(seq)
+            self._structure_cache[structure] = self.deck.sample_structure(self.die_params, rng)
+        return self._structure_cache[structure]
+
+    def label(self) -> str:
+        """Identifier used in reports."""
+        return f"MC{self.index}"
+
+
+@dataclass
+class MonteCarloResult:
+    """Output of one Monte Carlo campaign.
+
+    Attributes
+    ----------
+    pcms:
+        ``(n, np)`` PCM measurement matrix of the simulated golden devices.
+    fingerprints:
+        ``(n, nm)`` side-channel fingerprint matrix.
+    """
+
+    pcms: np.ndarray
+    fingerprints: np.ndarray
+
+    def __post_init__(self):
+        self.pcms = np.asarray(self.pcms, dtype=float)
+        self.fingerprints = np.asarray(self.fingerprints, dtype=float)
+        if self.pcms.shape[0] != self.fingerprints.shape[0]:
+            raise ValueError("pcms and fingerprints must describe the same devices")
+
+    @property
+    def n_devices(self) -> int:
+        """Number of simulated devices."""
+        return int(self.pcms.shape[0])
+
+
+class MonteCarloEngine:
+    """Runs Spice-level Monte Carlo over the trusted deck.
+
+    Parameters
+    ----------
+    deck:
+        The trusted simulation model.
+    campaign:
+        A noise-free measurement campaign (the simulator's ideal bench).
+        Passing a campaign with instruments attached raises ``ValueError`` —
+        simulated data must not carry bench noise.
+    numerical_noise:
+        Relative jitter applied to every simulated reading.  Post-layout
+        Monte Carlo results are not infinitely precise: parasitic
+        extraction, reduced-order models and transient-convergence
+        tolerances contribute noise comparable to good bench instruments.
+    """
+
+    def __init__(self, deck: SpiceDeck, campaign, numerical_noise: float = 0.0):
+        if campaign.power_meter is not None or campaign.delay_analyzer is not None:
+            raise ValueError("Monte Carlo simulation requires a noise-free campaign")
+        if numerical_noise < 0:
+            raise ValueError(f"numerical_noise must be non-negative, got {numerical_noise}")
+        self.deck = deck
+        self.campaign = campaign
+        self.numerical_noise = float(numerical_noise)
+
+    def sample_die(self, index: int, rng: SeedLike = None) -> SimulatedDie:
+        """Draw one virtual die from the deck statistics."""
+        gen = as_generator(rng)
+        die_params = self.deck.sample_die(gen)
+        return SimulatedDie(
+            index=index,
+            die_params=die_params,
+            deck=self.deck,
+            mismatch_seed=int(gen.integers(0, 2**63 - 1)),
+        )
+
+    def run(self, n: int, seed: SeedLike = None) -> MonteCarloResult:
+        """Simulate ``n`` golden devices and measure PCMs + fingerprints."""
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        rng = as_generator(seed)
+        pcms = np.empty((n, self.campaign.np_dim))
+        fingerprints = np.empty((n, self.campaign.nm))
+        for i in range(n):
+            die = self.sample_die(i, rng)
+            device = self.campaign.measure_device(die, trojan=None, version="TF")
+            pcms[i] = device.pcms
+            fingerprints[i] = device.fingerprint
+        if self.numerical_noise > 0:
+            pcms = pcms * (1.0 + self.numerical_noise * rng.standard_normal(pcms.shape))
+            fingerprints = fingerprints * (
+                1.0 + self.numerical_noise * rng.standard_normal(fingerprints.shape)
+            )
+        return MonteCarloResult(pcms=pcms, fingerprints=fingerprints)

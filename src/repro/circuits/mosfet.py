@@ -1,0 +1,110 @@
+"""Alpha-power-law MOSFET compact model (Sakurai-Newton).
+
+The alpha-power law captures the short-channel saturation current well enough
+for delay and drive-strength statistics:
+
+    I_dsat = K * (W / L_eff) * (mu / mu_0) * (t_ox0 / t_ox) * (V_dd - V_th)^alpha
+
+Everything the side-channel fingerprints and the PCMs depend on is a function
+of drive current and capacitance, so this single expression carries the full
+process-parameter correlation structure through the rest of the stack.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.process.parameters import ProcessParameters
+
+#: Technology reference values the relative parameters are normalized to.
+REFERENCE_TOX_NM = 7.60
+REFERENCE_MU = 1.0
+
+#: Saturation-region velocity index; ~2.0 for long channel, ~1.3 at 350 nm.
+DEFAULT_ALPHA = 1.30
+
+#: Current prefactor chosen so a 10/0.35 um NMOS at nominal drives ~1.9 mA.
+DEFAULT_K_N = 2.6e-5
+DEFAULT_K_P = 1.1e-5
+
+#: Nominal supply of the synthetic 350 nm platform.
+DEFAULT_VDD = 3.3
+
+
+class MosfetPolarity(enum.Enum):
+    """Device polarity; selects which threshold/mobility parameters apply."""
+
+    NMOS = "nmos"
+    PMOS = "pmos"
+
+
+@dataclass(frozen=True)
+class AlphaPowerMosfet:
+    """A sized transistor evaluated on a set of process parameters.
+
+    Parameters
+    ----------
+    polarity:
+        NMOS or PMOS.
+    width_um / length_um:
+        Drawn dimensions.  ``length_um`` scales with the process ``leff``
+        parameter (drawn length is fixed; the effective length varies).
+    alpha:
+        Velocity-saturation index of the alpha-power law.
+    k_prefactor:
+        Current prefactor in A per square of (V^alpha); defaults depend on
+        polarity.
+    """
+
+    polarity: MosfetPolarity
+    width_um: float
+    length_um: float = 0.35
+    alpha: float = DEFAULT_ALPHA
+    k_prefactor: float = 0.0
+
+    def __post_init__(self):
+        if self.width_um <= 0 or self.length_um <= 0:
+            raise ValueError(
+                f"device dimensions must be positive, got W={self.width_um}, L={self.length_um}"
+            )
+        if self.k_prefactor == 0.0:
+            default = DEFAULT_K_N if self.polarity is MosfetPolarity.NMOS else DEFAULT_K_P
+            object.__setattr__(self, "k_prefactor", default)
+
+    def threshold(self, params: ProcessParameters) -> float:
+        """Threshold voltage for this polarity under ``params``."""
+        return params.vth_n if self.polarity is MosfetPolarity.NMOS else params.vth_p
+
+    def mobility(self, params: ProcessParameters) -> float:
+        """Relative mobility for this polarity under ``params``."""
+        return params.mobility_n if self.polarity is MosfetPolarity.NMOS else params.mobility_p
+
+    def saturation_current(self, params: ProcessParameters, vdd: float = DEFAULT_VDD) -> float:
+        """Saturation drain current in amperes at gate drive ``vdd``.
+
+        Raises ``ValueError`` if the device does not turn on (``vdd <= vth``),
+        which in this library always indicates a mis-configured experiment
+        rather than a legitimate operating point.
+        """
+        vth = self.threshold(params)
+        overdrive = vdd - vth
+        if overdrive <= 0:
+            raise ValueError(
+                f"device does not conduct: vdd={vdd} V <= vth={vth} V "
+                f"({self.polarity.value})"
+            )
+        effective_length = self.length_um * (params.leff / 0.35)
+        geometry = self.width_um / effective_length
+        mobility_factor = self.mobility(params) / REFERENCE_MU
+        oxide_factor = REFERENCE_TOX_NM / params.tox
+        return (
+            self.k_prefactor * geometry * mobility_factor * oxide_factor * overdrive**self.alpha
+        )
+
+    def input_capacitance_ff(self, params: ProcessParameters) -> float:
+        """Gate input capacitance in femtofarads (C_ox * W * L, scaled)."""
+        # ~4.5 fF/um^2 of gate area at 7.6 nm oxide; thinner oxide -> more C.
+        effective_length = self.length_um * (params.leff / 0.35)
+        area = self.width_um * effective_length
+        return 4.5 * area * (REFERENCE_TOX_NM / params.tox)

@@ -1,0 +1,71 @@
+"""Critical-path delay composition.
+
+A path is an ordered chain of gates; each stage drives the input capacitance
+of the next stage (plus an optional external load on the last stage).  The
+on-die PCM of the platform chip is exactly such a path — "np = 1 delay
+measurement on a simple digital path" in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.circuits.gates import Gate
+from repro.circuits.mosfet import DEFAULT_VDD
+from repro.process.parameters import ProcessParameters
+
+
+@dataclass
+class CriticalPath:
+    """An ordered chain of gates with an optional final load.
+
+    Parameters
+    ----------
+    gates:
+        The stages, in signal order.
+    output_load_ff:
+        External capacitance on the last stage (pad, flop input), in fF.
+    name:
+        Label used in reports.
+    """
+
+    gates: List[Gate] = field(default_factory=list)
+    output_load_ff: float = 20.0
+    name: str = "path"
+
+    def __post_init__(self):
+        if not self.gates:
+            raise ValueError("a critical path needs at least one gate")
+        if self.output_load_ff < 0:
+            raise ValueError(f"output_load_ff must be non-negative, got {self.output_load_ff}")
+
+    @classmethod
+    def inverter_chain(cls, stage_count: int, gate_factory, name: str = "inv-chain",
+                       output_load_ff: float = 20.0) -> "CriticalPath":
+        """Build a homogeneous chain of ``stage_count`` gates."""
+        if stage_count <= 0:
+            raise ValueError(f"stage_count must be positive, got {stage_count}")
+        return cls(
+            gates=[gate_factory() for _ in range(stage_count)],
+            output_load_ff=output_load_ff,
+            name=name,
+        )
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def stage_delays_ns(self, params: ProcessParameters, vdd: float = DEFAULT_VDD) -> List[float]:
+        """Per-stage propagation delays in nanoseconds."""
+        delays = []
+        for index, gate in enumerate(self.gates):
+            if index + 1 < len(self.gates):
+                load = self.gates[index + 1].input_capacitance_ff(params)
+            else:
+                load = self.output_load_ff
+            delays.append(gate.propagation_delay_ns(params, load_ff=load, vdd=vdd))
+        return delays
+
+    def delay_ns(self, params: ProcessParameters, vdd: float = DEFAULT_VDD) -> float:
+        """Total path delay in nanoseconds."""
+        return float(sum(self.stage_delays_ns(params, vdd=vdd)))

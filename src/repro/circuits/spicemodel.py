@@ -1,0 +1,56 @@
+"""The trusted Spice deck: what the design house *believes* about the fab.
+
+The attack model of the paper places the culprit at the foundry, so the
+design house's simulation model is trusted — but stale.  A :class:`SpiceDeck`
+bundles the nominal process parameters and variation magnitudes the deck was
+characterized with.  The actual foundry (see :mod:`repro.silicon.foundry`)
+may run at a shifted operating point; the gap between the two is precisely
+what defeats boundaries B1/B2 in the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.process.parameters import ProcessParameters, nominal_350nm
+from repro.process.variation import VariationModel, default_variation_350nm
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class SpiceDeck:
+    """Nominal parameters + variation model, as frozen into the design kit.
+
+    Parameters
+    ----------
+    nominal:
+        The deck's nominal process parameters.
+    variation:
+        The deck's characterization of process variation.  Monte Carlo
+        simulation draws die-level and within-die deviations from this model
+        (lot structure is not simulated: a Spice MC run has no lots).
+    """
+
+    nominal: ProcessParameters
+    variation: VariationModel
+
+    def sample_die(self, rng: SeedLike = None) -> ProcessParameters:
+        """Draw one virtual die the way a Spice Monte Carlo iteration would.
+
+        Die-level variation in an MC run lumps lot and die components (the
+        deck does not distinguish them), so both sigmas apply around the
+        deck nominal.
+        """
+        gen = as_generator(rng)
+        lot = self.variation.sample_lot(self.nominal, gen)
+        return self.variation.sample_die(lot, gen)
+
+    def sample_structure(self, die_params: ProcessParameters,
+                         rng: SeedLike = None) -> ProcessParameters:
+        """Draw local (mismatch) parameters for one structure on a die."""
+        return self.variation.sample_structure(die_params, as_generator(rng))
+
+
+def default_spice_deck() -> SpiceDeck:
+    """The default trusted deck for the synthetic 350 nm platform."""
+    return SpiceDeck(nominal=nominal_350nm(), variation=default_variation_350nm())

@@ -1,0 +1,147 @@
+"""Unified command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+table1     reproduce Table 1 (FP/FN of boundaries B1..B5)
+figure4    reproduce the Figure 4 geometry summary
+audit      screen a device population and print the audit sheet
+generate   synthesize an experiment and save it to .npz
+ablation   run one of the ablation studies (A1/A2/A5/A7)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import DetectorConfig
+from repro.core.io import load_experiment_data, save_experiment_data
+from repro.core.pipeline import GoldenChipFreeDetector
+from repro.core.report import format_table1
+from repro.experiments.ablations import (
+    ablate_boundary_method,
+    ablate_kde,
+    ablate_kmm,
+    ablate_regression_mode,
+    format_rows,
+)
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.platformcfg import PlatformConfig, generate_experiment_data
+from repro.experiments.table1 import run_table1
+
+ABLATIONS = {
+    "kde": (ablate_kde, "A1: KDE tail modeling"),
+    "kmm": (ablate_kmm, "A2: PCM population calibration"),
+    "regression": (ablate_regression_mode, "A5: regression mode"),
+    "boundary": (ablate_boundary_method, "A7a: one-class classifier"),
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=6, help="experiment seed")
+    parser.add_argument("--chips", type=int, default=40, help="fabricated chips")
+    parser.add_argument(
+        "--kde-samples", type=int, default=30_000, help="tail-enhanced set size M'"
+    )
+    parser.add_argument(
+        "--data", type=str, default=None,
+        help="load measurements from a .npz written by the generate command",
+    )
+
+
+def _resolve_data(args):
+    if args.data:
+        return load_experiment_data(args.data)
+    return generate_experiment_data(PlatformConfig(seed=args.seed, n_chips=args.chips))
+
+
+def _detector_config(args) -> DetectorConfig:
+    return DetectorConfig(kde_samples=args.kde_samples)
+
+
+def _cmd_table1(args) -> int:
+    result = run_table1(detector_config=_detector_config(args), data=_resolve_data(args))
+    print(result.format())
+    print(f"\nmatches paper shape: {result.matches_paper_shape()}")
+    return 0
+
+
+def _cmd_figure4(args) -> int:
+    result = run_figure4(detector_config=_detector_config(args), data=_resolve_data(args))
+    print(result.format())
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    data = _resolve_data(args)
+    detector = GoldenChipFreeDetector(_detector_config(args))
+    detector.fit_premanufacturing(data.sim_pcms, data.sim_fingerprints)
+    detector.fit_silicon(data.dutt_pcms)
+    verdicts = detector.classify(data.dutt_fingerprints, boundary=args.boundary)
+    flagged = int((~verdicts).sum())
+    print(f"boundary {args.boundary}: flagged {flagged} of {data.n_devices} devices")
+    if data.infested is not None:
+        print()
+        print(format_table1(detector.evaluate(data.dutt_fingerprints, data.infested)))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    data = generate_experiment_data(PlatformConfig(seed=args.seed, n_chips=args.chips))
+    path = save_experiment_data(data, args.output)
+    print(f"wrote {data.n_devices} DUTTs + {data.sim_fingerprints.shape[0]} "
+          f"simulated devices to {path}")
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    runner, title = ABLATIONS[args.study]
+    rows = runner(
+        data=_resolve_data(args),
+        base_config=_detector_config(args),
+    )
+    print(format_rows(rows, title))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    table1 = commands.add_parser("table1", help="reproduce Table 1")
+    _add_common(table1)
+    table1.set_defaults(handler=_cmd_table1)
+
+    figure4 = commands.add_parser("figure4", help="reproduce Figure 4 geometry")
+    _add_common(figure4)
+    figure4.set_defaults(handler=_cmd_figure4)
+
+    audit = commands.add_parser("audit", help="screen a device population")
+    _add_common(audit)
+    audit.add_argument("--boundary", default="B5", choices=["B1", "B2", "B3", "B4", "B5"])
+    audit.set_defaults(handler=_cmd_audit)
+
+    generate = commands.add_parser("generate", help="synthesize + save an experiment")
+    generate.add_argument("output", help="target .npz path")
+    generate.add_argument("--seed", type=int, default=6)
+    generate.add_argument("--chips", type=int, default=40)
+    generate.set_defaults(handler=_cmd_generate)
+
+    ablation = commands.add_parser("ablation", help="run one ablation study")
+    ablation.add_argument("study", choices=sorted(ABLATIONS))
+    _add_common(ablation)
+    ablation.set_defaults(handler=_cmd_ablation)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Trusted-region boundaries: whitened-space one-class SVMs.
+
+Each of the paper's boundaries B1..B5 is the same construction applied to a
+different training population: whiten the population (with an eigenvalue
+floor — fingerprints are strongly correlated and synthetic populations can
+be rank-deficient), then fit a ν-one-class SVM in whitened coordinates.
+
+The whitening step is what gives the boundary its sensitivity: process
+variation spans few directions of the six-dimensional fingerprint space,
+while a Trojan's key-dependent modulation displaces a device *off* that
+manifold.  In whitened coordinates such off-manifold displacement is large
+even when it is small in absolute power.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.learn.elliptic import EllipticEnvelope
+from repro.learn.ocsvm import OneClassSvm
+from repro.stats.preprocessing import Whitener
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_2d
+
+
+class TrustedRegion:
+    """A named trusted-region boundary (whitener + one-class SVM).
+
+    Parameters
+    ----------
+    name:
+        Boundary label (``"B1"``..``"B5"`` in the paper flow).
+    nu / gamma:
+        One-class SVM parameters (gamma ``None`` = median heuristic in
+        whitened space).
+    floor_ratio:
+        Relative eigenvalue floor of the whitener.
+    noise_floor_rel:
+        Absolute whitener floor as a fraction of the training population's
+        mean fingerprint magnitude (encodes bench measurement noise).
+    max_training_samples:
+        Subsampling cap passed to the SVM.
+    method:
+        One-class learner in whitened space: ``"ocsvm"`` (the paper's
+        choice) or ``"mahalanobis"`` (an elliptic envelope at the matching
+        chi-square quantile; classifier-choice ablation A7).
+    seed:
+        Seed for the (deterministic) subsampling.
+    """
+
+    METHODS = ("ocsvm", "mahalanobis")
+
+    def __init__(
+        self,
+        name: str = "B",
+        nu: float = 0.05,
+        gamma: Optional[float] = None,
+        floor_ratio: float = 2e-3,
+        noise_floor_rel: float = 0.0,
+        max_training_samples: int = 1500,
+        method: str = "ocsvm",
+        seed: SeedLike = None,
+    ):
+        if noise_floor_rel < 0:
+            raise ValueError(f"noise_floor_rel must be non-negative, got {noise_floor_rel}")
+        if method not in self.METHODS:
+            raise ValueError(f"method must be one of {self.METHODS}, got {method!r}")
+        self.name = name
+        self.method = method
+        self.floor_ratio = float(floor_ratio)
+        self.noise_floor_rel = float(noise_floor_rel)
+        self._whitener: Optional[Whitener] = None
+        if method == "ocsvm":
+            self._learner = OneClassSvm(
+                nu=nu,
+                gamma=gamma,
+                max_training_samples=max_training_samples,
+                seed=seed,
+            )
+        else:
+            self._learner = EllipticEnvelope(contamination=nu)
+        self.n_training_samples_: Optional[int] = None
+
+    def fit(self, population) -> "TrustedRegion":
+        """Learn the boundary enclosing a golden fingerprint ``population``."""
+        population = check_2d(population, "population")
+        self.n_training_samples_ = population.shape[0]
+        floor_sigma = self.noise_floor_rel * float(np.mean(np.abs(population)))
+        self._whitener = Whitener(floor_ratio=self.floor_ratio, floor_sigma=floor_sigma)
+        whitened = self._whitener.fit_transform(population)
+        self._learner.fit(whitened)
+        return self
+
+    def _check_fitted(self):
+        if self.n_training_samples_ is None:
+            raise RuntimeError(f"TrustedRegion {self.name!r} must be fitted before use")
+
+    def decision_scores(self, fingerprints) -> np.ndarray:
+        """Decision values; >= 0 means inside the trusted region."""
+        self._check_fitted()
+        fingerprints = check_2d(fingerprints, "fingerprints")
+        return self._learner.decision_function(self._whitener.transform(fingerprints))
+
+    def predict_trojan_free(self, fingerprints) -> np.ndarray:
+        """Boolean array: True where a device is classified Trojan-free."""
+        return self.decision_scores(fingerprints) >= 0.0
+
+    @property
+    def whitener(self) -> Whitener:
+        """The fitted whitener (for diagnostics and visualization)."""
+        return self._whitener
+
+    @property
+    def svm(self) -> OneClassSvm:
+        """The fitted one-class SVM (raises for non-SVM methods)."""
+        if not isinstance(self._learner, OneClassSvm):
+            raise AttributeError(
+                f"TrustedRegion {self.name!r} uses method {self.method!r}, not an SVM"
+            )
+        return self._learner
+
+    @property
+    def learner(self):
+        """The fitted one-class learner, whatever its method."""
+        return self._learner

@@ -1,0 +1,142 @@
+"""The golden chip-free detector: the paper's three-stage pipeline.
+
+Stage 1 — **pre-manufacturing** (Section 2.1): Monte Carlo simulate golden
+devices with the trusted Spice deck; learn the MARS regressions
+``g_j : m_p -> m_j``; train boundary B1 on the raw simulated fingerprints
+(S1) and B2 on their KDE tail-enhanced population (S2).
+
+Stage 2 — **silicon measurement** (Section 2.2): measure the PCMs of the
+devices under Trojan test; predict golden fingerprints from them (S3 -> B3);
+calibrate the simulated PCM population to the silicon operating point with
+kernel mean matching and predict from the shifted population (S4 -> B4);
+tail-enhance that population with adaptive KDE (S5 -> B5).
+
+Stage 3 — **Trojan test** (Section 2.3): classify each DUTT fingerprint
+against a chosen boundary; compute FP/FN.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.boundaries import TrustedRegion
+from repro.core.config import DetectorConfig
+from repro.core.datasets import (
+    DatasetBundle,
+    build_s1,
+    build_s3,
+    build_s4,
+    tail_enhance,
+    train_regressions,
+)
+from repro.core.metrics import DetectionMetrics, evaluate_detection
+from repro.utils.rng import spawn_children
+from repro.utils.validation import check_2d
+
+BOUNDARY_NAMES = ("B1", "B2", "B3", "B4", "B5")
+
+
+class GoldenChipFreeDetector:
+    """Learns trusted regions B1..B5 without golden chips.
+
+    Typical use::
+
+        detector = GoldenChipFreeDetector(DetectorConfig())
+        detector.fit_premanufacturing(sim_pcms, sim_fingerprints)
+        detector.fit_silicon(dutt_pcms)
+        verdicts = detector.classify(dutt_fingerprints)          # B5
+        table = detector.evaluate(dutt_fingerprints, infested)   # all B's
+    """
+
+    def __init__(self, config: Optional[DetectorConfig] = None):
+        self.config = config or DetectorConfig()
+        self.datasets = DatasetBundle()
+        self.boundaries: Dict[str, TrustedRegion] = {}
+        self.regressions_ = None
+        self._sim_pcms: Optional[np.ndarray] = None
+        # Independent child generators per stochastic step, all derived from
+        # the master seed: [S2 KDE, KMM resample, S5 KDE, SVM subsampling].
+        self._rngs = spawn_children(self.config.seed, 4)
+
+    # ------------------------------------------------------------------
+    # stage 1: pre-manufacturing
+    # ------------------------------------------------------------------
+
+    def fit_premanufacturing(self, sim_pcms, sim_fingerprints) -> "GoldenChipFreeDetector":
+        """Learn regressions and the simulation-only boundaries B1/B2."""
+        sim_pcms = check_2d(sim_pcms, "sim_pcms")
+        sim_fingerprints = check_2d(sim_fingerprints, "sim_fingerprints")
+        self._sim_pcms = sim_pcms
+        self.regressions_ = train_regressions(sim_pcms, sim_fingerprints, self.config)
+
+        self.datasets.sets["S1"] = build_s1(sim_fingerprints)
+        self.datasets.sets["S2"] = tail_enhance(
+            self.datasets["S1"], self.config, rng=self._rngs[0]
+        )
+        self.boundaries["B1"] = self._new_region("B1").fit(self.datasets["S1"])
+        self.boundaries["B2"] = self._new_region("B2").fit(self.datasets["S2"])
+        return self
+
+    # ------------------------------------------------------------------
+    # stage 2: silicon measurement
+    # ------------------------------------------------------------------
+
+    def fit_silicon(self, dutt_pcms) -> "GoldenChipFreeDetector":
+        """Anchor the trusted region in silicon via the DUTTs' PCMs."""
+        if self.regressions_ is None:
+            raise RuntimeError("fit_premanufacturing must run before fit_silicon")
+        dutt_pcms = check_2d(dutt_pcms, "dutt_pcms")
+        if dutt_pcms.shape[1] != self._sim_pcms.shape[1]:
+            raise ValueError(
+                f"DUTT PCMs have {dutt_pcms.shape[1]} features, "
+                f"simulation had {self._sim_pcms.shape[1]}"
+            )
+
+        self.datasets.sets["S3"] = build_s3(self.regressions_, dutt_pcms)
+        self.datasets.sets["S4"] = build_s4(
+            self.regressions_, self._sim_pcms, dutt_pcms, self.config, rng=self._rngs[1]
+        )
+        self.datasets.sets["S5"] = tail_enhance(
+            self.datasets["S4"], self.config, rng=self._rngs[2]
+        )
+        self.boundaries["B3"] = self._new_region("B3").fit(self.datasets["S3"])
+        self.boundaries["B4"] = self._new_region("B4").fit(self.datasets["S4"])
+        self.boundaries["B5"] = self._new_region("B5").fit(self.datasets["S5"])
+        return self
+
+    def _new_region(self, name: str) -> TrustedRegion:
+        return TrustedRegion(
+            name=name,
+            nu=self.config.svm_nu,
+            gamma=self.config.svm_gamma,
+            floor_ratio=self.config.floor_ratio,
+            noise_floor_rel=self.config.noise_floor_rel,
+            max_training_samples=self.config.svm_max_training_samples,
+            method=self.config.boundary_method,
+            seed=self._rngs[3],
+        )
+
+    # ------------------------------------------------------------------
+    # stage 3: trojan test
+    # ------------------------------------------------------------------
+
+    def classify(self, fingerprints, boundary: str = "B5") -> np.ndarray:
+        """Classify DUTT fingerprints; True = Trojan-free (inside region)."""
+        if boundary not in self.boundaries:
+            raise KeyError(
+                f"boundary {boundary!r} not trained; available: "
+                f"{sorted(self.boundaries)}"
+            )
+        return self.boundaries[boundary].predict_trojan_free(fingerprints)
+
+    def evaluate(self, fingerprints, infested) -> Dict[str, DetectionMetrics]:
+        """FP/FN of every trained boundary over a labelled DUTT population."""
+        fingerprints = check_2d(fingerprints, "fingerprints")
+        results = {}
+        for name in BOUNDARY_NAMES:
+            if name in self.boundaries:
+                predictions = self.classify(fingerprints, boundary=name)
+                results[name] = evaluate_detection(predictions, infested)
+        return results

@@ -1,0 +1,71 @@
+"""Textual reporting of detection results (paper Table 1 format)."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.core.metrics import DetectionMetrics
+
+#: Which dataset trains which boundary, for row labels.
+BOUNDARY_TO_DATASET = {"B1": "S1", "B2": "S2", "B3": "S3", "B4": "S4", "B5": "S5"}
+
+
+def format_table1(results: Mapping[str, DetectionMetrics], title: str = "") -> str:
+    """Render FP/FN metrics like the paper's Table 1.
+
+    ``results`` maps boundary names ("B1".."B5") to their metrics.
+    """
+    if not results:
+        raise ValueError("no results to format")
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("Data set used to train the trusted region |   FP   |   FN")
+    lines.append("-" * 58)
+    for boundary in ("B1", "B2", "B3", "B4", "B5"):
+        if boundary not in results:
+            continue
+        metrics = results[boundary]
+        dataset = BOUNDARY_TO_DATASET.get(boundary, "?")
+        lines.append(
+            f"{dataset:<41s} | {metrics.fp_count:>2d}/{metrics.n_infested:<3d} "
+            f"| {metrics.fn_count:>2d}/{metrics.n_trojan_free:<3d}"
+        )
+    return "\n".join(lines)
+
+
+def format_table1_markdown(results: Mapping[str, DetectionMetrics],
+                           paper_fn: Mapping[str, int] = None) -> str:
+    """Render FP/FN metrics as a Markdown table (for reports/EXPERIMENTS.md).
+
+    ``paper_fn`` optionally adds the paper's FN column for comparison.
+    """
+    if not results:
+        raise ValueError("no results to format")
+    header = "| Data set | FP | FN |"
+    divider = "|---|---:|---:|"
+    if paper_fn:
+        header = "| Data set | FP | FN | Paper FN |"
+        divider = "|---|---:|---:|---:|"
+    lines = [header, divider]
+    for boundary in ("B1", "B2", "B3", "B4", "B5"):
+        if boundary not in results:
+            continue
+        metrics = results[boundary]
+        dataset = BOUNDARY_TO_DATASET.get(boundary, "?")
+        row = (
+            f"| {dataset} | {metrics.fp_count}/{metrics.n_infested} "
+            f"| {metrics.fn_count}/{metrics.n_trojan_free} |"
+        )
+        if paper_fn:
+            row += f" {paper_fn.get(boundary, '—')}/{metrics.n_trojan_free} |"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def summarize_rates(results: Mapping[str, DetectionMetrics]) -> Dict[str, Dict[str, float]]:
+    """FP/FN rates per boundary as plain floats (for machine consumption)."""
+    return {
+        name: {"fp_rate": metrics.fp_rate, "fn_rate": metrics.fn_rate}
+        for name, metrics in results.items()
+    }

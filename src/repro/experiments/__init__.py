@@ -1,0 +1,28 @@
+"""Reproduction experiments: Table 1, Figure 4, and ablations.
+
+:mod:`repro.experiments.platformcfg` assembles the full synthetic
+experimentation platform (deck, foundry, Trojans, measurement campaigns)
+and generates the paper's data: 100 Monte Carlo golden devices plus 120
+fabricated DUTTs (40 Trojan-free, 40 Trojan I, 40 Trojan II).
+"""
+
+from repro.experiments.platformcfg import (
+    ExperimentData,
+    PlatformConfig,
+    generate_experiment_data,
+)
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.figure4 import Figure4Result, run_figure4
+from repro.experiments.roc import OperatingCurve, operating_curve
+
+__all__ = [
+    "PlatformConfig",
+    "ExperimentData",
+    "generate_experiment_data",
+    "run_table1",
+    "Table1Result",
+    "run_figure4",
+    "Figure4Result",
+    "operating_curve",
+    "OperatingCurve",
+]

@@ -1,0 +1,79 @@
+"""Ordinary and ridge least-squares regression.
+
+Baselines for the MARS regressor and the workhorse inside MARS itself
+(every forward/backward step refits a least-squares model on the current
+basis).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_1d, check_2d, check_matching_rows
+
+
+class LinearRegression:
+    """Ordinary least squares with an intercept."""
+
+    def __init__(self):
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: Optional[float] = None
+
+    def fit(self, x, y) -> "LinearRegression":
+        """Fit on ``(n, d)`` inputs and ``(n,)`` targets."""
+        x = check_2d(x, "x")
+        y = check_1d(y, "y")
+        check_matching_rows(x, y[:, None], "x", "y")
+        design = np.hstack([np.ones((x.shape[0], 1)), x])
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        self.intercept_ = float(solution[0])
+        self.coef_ = solution[1:]
+        return self
+
+    def predict(self, x) -> np.ndarray:
+        """Predict targets for ``(n, d)`` inputs."""
+        if self.coef_ is None:
+            raise RuntimeError("LinearRegression must be fitted before use")
+        x = check_2d(x, "x")
+        return x @ self.coef_ + self.intercept_
+
+
+class RidgeRegression:
+    """L2-regularized least squares with an (unpenalized) intercept.
+
+    Parameters
+    ----------
+    alpha:
+        Regularization strength; 0 reduces to ordinary least squares.
+    """
+
+    def __init__(self, alpha: float = 1.0):
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.alpha = float(alpha)
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: Optional[float] = None
+
+    def fit(self, x, y) -> "RidgeRegression":
+        """Fit on ``(n, d)`` inputs and ``(n,)`` targets."""
+        x = check_2d(x, "x")
+        y = check_1d(y, "y")
+        check_matching_rows(x, y[:, None], "x", "y")
+        x_mean = x.mean(axis=0)
+        y_mean = float(y.mean())
+        xc = x - x_mean
+        yc = y - y_mean
+        d = x.shape[1]
+        gram = xc.T @ xc + self.alpha * np.eye(d)
+        self.coef_ = np.linalg.solve(gram, xc.T @ yc)
+        self.intercept_ = y_mean - float(x_mean @ self.coef_)
+        return self
+
+    def predict(self, x) -> np.ndarray:
+        """Predict targets for ``(n, d)`` inputs."""
+        if self.coef_ is None:
+            raise RuntimeError("RidgeRegression must be fitted before use")
+        x = check_2d(x, "x")
+        return x @ self.coef_ + self.intercept_

@@ -1,0 +1,265 @@
+"""Multivariate Adaptive Regression Splines (Friedman 1991).
+
+The paper trains one MARS model per side-channel fingerprint to learn the
+non-linear map ``g_j : m_p -> m_j`` from PCM measurements to fingerprints on
+Monte Carlo simulation data.
+
+The implementation follows the classic two-pass scheme:
+
+* **forward pass** — greedily add mirrored hinge pairs
+  ``(max(0, x_v - t), max(0, t - x_v))`` (optionally multiplied into an
+  existing basis function for interactions) that most reduce the residual
+  sum of squares;
+* **backward pass** — prune basis functions one at a time, keeping the
+  subset with the best Generalized Cross-Validation score
+  ``GCV = (SSE / n) / (1 - C(M)/n)^2`` with effective parameter count
+  ``C(M) = M + penalty * (M - 1) / 2``.
+
+Hinge functions extrapolate linearly outside the training range — essential
+here, because the regression is applied to silicon PCM values that sit in
+the tail (or beyond) of the simulated training distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_1d, check_2d, check_matching_rows
+
+
+@dataclass(frozen=True)
+class HingeTerm:
+    """One hinge factor: ``max(0, sign * (x[variable] - knot))``."""
+
+    variable: int
+    knot: float
+    sign: int  # +1 -> max(0, x - t);  -1 -> max(0, t - x)
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        value = self.sign * (x[:, self.variable] - self.knot)
+        return np.maximum(0.0, value)
+
+
+@dataclass(frozen=True)
+class BasisFunction:
+    """A product of hinge factors (the constant basis has no factors)."""
+
+    terms: Tuple[HingeTerm, ...] = ()
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        out = np.ones(x.shape[0])
+        for term in self.terms:
+            out = out * term.evaluate(x)
+        return out
+
+    def degree(self) -> int:
+        return len(self.terms)
+
+    def uses_variable(self, variable: int) -> bool:
+        return any(term.variable == variable for term in self.terms)
+
+
+def _gcv(sse: float, n: int, n_basis: int, penalty: float) -> float:
+    effective = n_basis + penalty * (n_basis - 1) / 2.0
+    denom = 1.0 - effective / n
+    if denom <= 0:
+        return np.inf
+    return (sse / n) / denom**2
+
+
+class MarsRegression:
+    """MARS regressor for one scalar target.
+
+    Parameters
+    ----------
+    max_terms:
+        Cap on basis functions (including the constant) after the forward
+        pass.
+    max_degree:
+        Maximum interaction degree (1 = additive model, the paper's setting
+        for its 1-dimensional PCM input).
+    penalty:
+        GCV penalty per knot (Friedman recommends 2-3; 3 for interactions).
+    n_knot_candidates:
+        Number of candidate knots per variable (quantiles of the training
+        data).
+    """
+
+    def __init__(self, max_terms: int = 21, max_degree: int = 1,
+                 penalty: float = 3.0, n_knot_candidates: int = 20):
+        if max_terms < 1:
+            raise ValueError(f"max_terms must be >= 1, got {max_terms}")
+        if max_degree < 1:
+            raise ValueError(f"max_degree must be >= 1, got {max_degree}")
+        if penalty < 0:
+            raise ValueError(f"penalty must be non-negative, got {penalty}")
+        if n_knot_candidates < 1:
+            raise ValueError(f"n_knot_candidates must be >= 1, got {n_knot_candidates}")
+        self.max_terms = int(max_terms)
+        self.max_degree = int(max_degree)
+        self.penalty = float(penalty)
+        self.n_knot_candidates = int(n_knot_candidates)
+        self.basis_: Optional[List[BasisFunction]] = None
+        self.coef_: Optional[np.ndarray] = None
+        self.gcv_: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+
+    def fit(self, x, y) -> "MarsRegression":
+        """Fit the spline model on ``(n, d)`` inputs and ``(n,)`` targets."""
+        x = check_2d(x, "x")
+        y = check_1d(y, "y")
+        check_matching_rows(x, y[:, None], "x", "y")
+        n, d = x.shape
+
+        knots = self._candidate_knots(x)
+        basis: List[BasisFunction] = [BasisFunction()]
+        design = np.ones((n, 1))
+
+        # ---------------- forward pass ----------------
+        current_sse = self._fit_sse(design, y)[1]
+        while len(basis) + 2 <= self.max_terms:
+            best = self._best_forward_pair(x, y, basis, design, knots, current_sse)
+            if best is None:
+                break
+            pair, columns, sse = best
+            basis.extend(pair)
+            design = np.hstack([design, columns])
+            current_sse = sse
+
+        # ---------------- backward pass ----------------
+        best_basis, best_coef, best_gcv = self._prune(design, y, basis)
+        self.basis_ = best_basis
+        self.coef_ = best_coef
+        self.gcv_ = best_gcv
+        return self
+
+    def _candidate_knots(self, x: np.ndarray) -> List[np.ndarray]:
+        knots = []
+        for v in range(x.shape[1]):
+            values = np.unique(x[:, v])
+            if values.size <= self.n_knot_candidates:
+                # Interior values only: a knot at the extremes creates a
+                # zero/duplicate column.
+                candidates = values[1:-1] if values.size > 2 else values
+            else:
+                quantiles = np.linspace(0.05, 0.95, self.n_knot_candidates)
+                candidates = np.quantile(values, quantiles)
+            knots.append(np.unique(candidates))
+        return knots
+
+    @staticmethod
+    def _fit_sse(design: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, float]:
+        coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+        residual = y - design @ coef
+        return coef, float(residual @ residual)
+
+    def _best_forward_pair(self, x, y, basis, design, knots, current_sse):
+        """Search (parent basis, variable, knot) for the best hinge pair."""
+        n = x.shape[0]
+        best = None
+        best_sse = current_sse - 1e-12 * max(1.0, abs(current_sse))
+        for parent_idx, parent in enumerate(basis):
+            if parent.degree() + 1 > self.max_degree:
+                continue
+            parent_column = design[:, parent_idx]
+            for v in range(x.shape[1]):
+                if parent.uses_variable(v):
+                    continue
+                for t in knots[v]:
+                    up = np.maximum(0.0, x[:, v] - t) * parent_column
+                    down = np.maximum(0.0, t - x[:, v]) * parent_column
+                    if not up.any() or not down.any():
+                        continue
+                    candidate = np.hstack([design, up[:, None], down[:, None]])
+                    _, sse = self._fit_sse(candidate, y)
+                    if sse < best_sse:
+                        best_sse = sse
+                        pair = (
+                            BasisFunction(parent.terms + (HingeTerm(v, float(t), +1),)),
+                            BasisFunction(parent.terms + (HingeTerm(v, float(t), -1),)),
+                        )
+                        best = (pair, np.column_stack([up, down]), sse)
+        _ = n
+        return best
+
+    def _prune(self, design, y, basis):
+        """Backward deletion keeping the GCV-best subset (constant stays)."""
+        n = design.shape[0]
+        active = list(range(len(basis)))
+        coef, sse = self._fit_sse(design[:, active], y)
+        best_gcv = _gcv(sse, n, len(active), self.penalty)
+        best_state = (list(active), coef)
+
+        while len(active) > 1:
+            trial_best = None
+            for position in range(1, len(active)):  # never drop the constant
+                trial = active[:position] + active[position + 1:]
+                coef_t, sse_t = self._fit_sse(design[:, trial], y)
+                gcv_t = _gcv(sse_t, n, len(trial), self.penalty)
+                if trial_best is None or gcv_t < trial_best[0]:
+                    trial_best = (gcv_t, trial, coef_t)
+            gcv_t, trial, coef_t = trial_best
+            active = trial
+            if gcv_t < best_gcv:
+                best_gcv = gcv_t
+                best_state = (list(active), coef_t)
+
+        indices, coef = best_state
+        return [basis[i] for i in indices], coef, best_gcv
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+
+    def _check_fitted(self):
+        if self.basis_ is None:
+            raise RuntimeError("MarsRegression must be fitted before use")
+
+    def predict(self, x) -> np.ndarray:
+        """Predict targets for ``(n, d)`` inputs."""
+        self._check_fitted()
+        x = check_2d(x, "x")
+        design = np.column_stack([b.evaluate(x) for b in self.basis_])
+        return design @ self.coef_
+
+    def n_basis_functions(self) -> int:
+        """Number of retained basis functions (including the constant)."""
+        self._check_fitted()
+        return len(self.basis_)
+
+
+class MultiOutputMars:
+    """Convenience wrapper: one independent MARS model per output column.
+
+    Mirrors the paper's ``nm`` regression functions ``g_j``, one per
+    side-channel fingerprint.
+    """
+
+    def __init__(self, **mars_kwargs):
+        self.mars_kwargs = mars_kwargs
+        self.models_: Optional[List[MarsRegression]] = None
+
+    def fit(self, x, y) -> "MultiOutputMars":
+        """Fit on ``(n, d)`` inputs and ``(n, m)`` targets."""
+        x = check_2d(x, "x")
+        y = check_2d(y, "y")
+        check_matching_rows(x, y, "x", "y")
+        self.models_ = []
+        for j in range(y.shape[1]):
+            model = MarsRegression(**self.mars_kwargs)
+            model.fit(x, y[:, j])
+            self.models_.append(model)
+        return self
+
+    def predict(self, x) -> np.ndarray:
+        """Predict an ``(n, m)`` target matrix."""
+        if self.models_ is None:
+            raise RuntimeError("MultiOutputMars must be fitted before use")
+        x = check_2d(x, "x")
+        return np.column_stack([model.predict(x) for model in self.models_])

@@ -1,0 +1,81 @@
+"""Cross-validation utilities for the regression and boundary models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_1d, check_2d
+
+
+def kfold_indices(n: int, k: int, shuffle: bool = True,
+                  rng: SeedLike = None) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Return ``k`` (train_idx, test_idx) splits over ``n`` samples."""
+    if n < 2:
+        raise ValueError(f"need at least 2 samples, got {n}")
+    if not 2 <= k <= n:
+        raise ValueError(f"k must be in [2, {n}], got {k}")
+    order = np.arange(n)
+    if shuffle:
+        as_generator(rng).shuffle(order)
+    folds = np.array_split(order, k)
+    splits = []
+    for i in range(k):
+        test = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        splits.append((train, test))
+    return splits
+
+
+@dataclass
+class GridSearchResult:
+    """Outcome of a regression grid search."""
+
+    best_params: Dict
+    best_score: float
+    all_scores: List[Tuple[Dict, float]]
+
+
+def grid_search_regression(
+    model_factory: Callable[..., object],
+    param_grid: Dict[str, Iterable],
+    x,
+    y,
+    k: int = 5,
+    rng: SeedLike = None,
+) -> GridSearchResult:
+    """K-fold CV grid search minimizing mean squared error.
+
+    ``model_factory(**params)`` must return an object with ``fit(x, y)`` and
+    ``predict(x)``.
+    """
+    x = check_2d(x, "x")
+    y = check_1d(y, "y")
+    names = list(param_grid)
+    grids = [list(param_grid[name]) for name in names]
+
+    def combinations(level=0, current=None):
+        current = current or {}
+        if level == len(names):
+            yield dict(current)
+            return
+        for value in grids[level]:
+            current[names[level]] = value
+            yield from combinations(level + 1, current)
+
+    splits = kfold_indices(x.shape[0], k, rng=rng)
+    scores: List[Tuple[Dict, float]] = []
+    for params in combinations():
+        errors = []
+        for train, test in splits:
+            model = model_factory(**params)
+            model.fit(x[train], y[train])
+            predictions = model.predict(x[test])
+            errors.append(float(np.mean((predictions - y[test]) ** 2)))
+        scores.append((params, float(np.mean(errors))))
+
+    best_params, best_score = min(scores, key=lambda item: item[1])
+    return GridSearchResult(best_params=best_params, best_score=best_score, all_scores=scores)

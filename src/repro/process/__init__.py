@@ -1,0 +1,27 @@
+"""Base process-technology definitions (no dependencies on other substrates).
+
+Fundamental process parameters, the hierarchical variation model, and
+lot/wafer/die bookkeeping.  Both the circuit models and the silicon
+fabrication layer build on this package.
+"""
+
+from repro.process.parameters import (
+    PARAMETER_NAMES,
+    OperatingPointShift,
+    ProcessParameters,
+    nominal_350nm,
+)
+from repro.process.variation import VariationModel, default_variation_350nm
+from repro.process.wafer import DieSite, Lot, Wafer
+
+__all__ = [
+    "ProcessParameters",
+    "OperatingPointShift",
+    "PARAMETER_NAMES",
+    "nominal_350nm",
+    "VariationModel",
+    "default_variation_350nm",
+    "DieSite",
+    "Wafer",
+    "Lot",
+]

@@ -1,0 +1,82 @@
+"""Lot / wafer / die bookkeeping for fabricated populations.
+
+These classes carry identity and placement only; the physics lives in
+:mod:`repro.process.parameters` and the sampling in :mod:`repro.silicon.foundry`.
+Placement matters because the paper notes that DUTT populations often come
+from a single lot, so their PCM spread under-represents the full process
+distribution — the motivation for KMM calibration of simulated PCMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class DieSite:
+    """Identity of one die: lot / wafer / (x, y) site on the wafer."""
+
+    lot_id: int
+    wafer_id: int
+    x: int
+    y: int
+
+    def label(self) -> str:
+        """Human-readable identifier, e.g. ``L0.W2.(3,1)``."""
+        return f"L{self.lot_id}.W{self.wafer_id}.({self.x},{self.y})"
+
+
+@dataclass
+class Wafer:
+    """One wafer: an ordered collection of die sites."""
+
+    lot_id: int
+    wafer_id: int
+    sites: List[DieSite] = field(default_factory=list)
+
+    @classmethod
+    def with_grid(cls, lot_id: int, wafer_id: int, rows: int, cols: int) -> "Wafer":
+        """Create a wafer with a full ``rows x cols`` rectangular die grid."""
+        if rows <= 0 or cols <= 0:
+            raise ValueError(f"grid must be positive, got {rows}x{cols}")
+        sites = [
+            DieSite(lot_id=lot_id, wafer_id=wafer_id, x=x, y=y)
+            for y in range(rows)
+            for x in range(cols)
+        ]
+        return cls(lot_id=lot_id, wafer_id=wafer_id, sites=sites)
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+
+@dataclass
+class Lot:
+    """One fabrication lot: a set of wafers processed together."""
+
+    lot_id: int
+    wafers: List[Wafer] = field(default_factory=list)
+
+    @classmethod
+    def with_wafers(cls, lot_id: int, n_wafers: int, rows: int, cols: int) -> "Lot":
+        """Create a lot of ``n_wafers`` identical grid wafers."""
+        if n_wafers <= 0:
+            raise ValueError(f"n_wafers must be positive, got {n_wafers}")
+        wafers = [
+            Wafer.with_grid(lot_id=lot_id, wafer_id=w, rows=rows, cols=cols)
+            for w in range(n_wafers)
+        ]
+        return cls(lot_id=lot_id, wafers=wafers)
+
+    def sites(self) -> List[DieSite]:
+        """All die sites of the lot, wafer by wafer."""
+        out: List[DieSite] = []
+        for wafer in self.wafers:
+            out.extend(wafer.sites)
+        return out
+
+    def size(self) -> Tuple[int, int]:
+        """(number of wafers, dies per wafer)."""
+        per_wafer = len(self.wafers[0]) if self.wafers else 0
+        return len(self.wafers), per_wafer

@@ -1,0 +1,57 @@
+"""Band-limited receiver / power meter front-end.
+
+The side-channel fingerprint of the paper is the measured transmission power
+of a 128-bit block.  The bench receiver integrates pulse energy through a
+band-pass response centred on the nominal UWB band.  Because the response
+rolls off away from the passband centre, a Trojan that detunes pulse
+*frequency* also changes the measured *power* — this is how Trojan II shows
+up in the same fingerprint as Trojan I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rf.pulse import PulseTrain
+
+
+@dataclass(frozen=True)
+class BandPassReceiver:
+    """Gaussian band-pass energy detector.
+
+    Parameters
+    ----------
+    center_frequency_ghz:
+        Passband centre of the measurement receiver.
+    bandwidth_ghz:
+        1-sigma width of the (Gaussian-shaped) band response.
+    """
+
+    center_frequency_ghz: float = 4.30
+    bandwidth_ghz: float = 3.00
+
+    def __post_init__(self):
+        if self.center_frequency_ghz <= 0:
+            raise ValueError(
+                f"center_frequency_ghz must be positive, got {self.center_frequency_ghz}"
+            )
+        if self.bandwidth_ghz <= 0:
+            raise ValueError(f"bandwidth_ghz must be positive, got {self.bandwidth_ghz}")
+
+    def band_response(self, frequencies_ghz: np.ndarray) -> np.ndarray:
+        """Fraction of pulse energy captured at each centre frequency."""
+        detune = (np.asarray(frequencies_ghz, dtype=float) - self.center_frequency_ghz)
+        return np.exp(-0.5 * (detune / self.bandwidth_ghz) ** 2)
+
+    def block_power(self, train: PulseTrain) -> float:
+        """Measured power of one block transmission, in V^2*ns (energy units).
+
+        The block duration is fixed by the protocol, so total captured energy
+        and average power differ only by a constant; we report energy units.
+        """
+        if len(train) == 0:
+            return 0.0
+        captured = train.pulse_energies() * self.band_response(train.center_frequencies_ghz)
+        return float(np.sum(captured))

@@ -1,0 +1,130 @@
+"""The UWB transmitter: process-dependent amplitude and centre frequency.
+
+Two analog quantities carry the process signature into the fingerprint:
+
+* **output amplitude** — set by the power-amplifier output stage's drive
+  current into the antenna load (alpha-power law on the PA's local
+  parameters);
+* **pulse centre frequency** — set by the pulse-shaping delay cell, whose
+  delay is CV/I on the shaper's local parameters.
+
+Both are evaluated from :class:`~repro.process.parameters.ProcessParameters`
+local to the respective structure, so PCMs (a different structure on the same
+die) are correlated with, but not identical to, the transmitter behaviour.
+
+Hardware Trojans hook in through a
+:class:`~repro.trojans.base.TrojanModel` which may perturb per-pulse
+amplitude or frequency as a function of the secret key bit being leaked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.circuits.mosfet import DEFAULT_VDD, AlphaPowerMosfet, MosfetPolarity
+from repro.rf.pulse import PulseTrain
+from repro.process.parameters import ProcessParameters
+
+#: Antenna/package load the PA output stage drives, in ohms.
+ANTENNA_LOAD_OHM = 50.0
+
+#: Shaping-cell capacitance at nominal cpar, in fF.
+SHAPER_CAP_FF = 90.0
+
+#: Calibration constant mapping shaper delay to pulse centre frequency.
+SHAPER_FREQ_SCALE = 0.25
+
+
+@dataclass
+class UwbTransmitter:
+    """UWB transmitter front-end of the wireless cryptographic IC.
+
+    Parameters
+    ----------
+    pa_params:
+        Local process parameters of the power-amplifier output stage.
+    shaper_params:
+        Local process parameters of the pulse-shaping cell.  Defaults to
+        ``pa_params`` when the caller does not model within-die mismatch.
+    vdd:
+        Supply voltage.
+    """
+
+    pa_params: ProcessParameters
+    shaper_params: Optional[ProcessParameters] = None
+    vdd: float = DEFAULT_VDD
+
+    #: PA output NMOS; large device, sized for the antenna drive.
+    _pa_device = AlphaPowerMosfet(MosfetPolarity.NMOS, width_um=150.0)
+    #: Shaper drive NMOS.
+    _shaper_device = AlphaPowerMosfet(MosfetPolarity.NMOS, width_um=18.0)
+
+    def __post_init__(self):
+        if self.shaper_params is None:
+            self.shaper_params = self.pa_params
+
+    def output_amplitude(self) -> float:
+        """Nominal per-pulse peak amplitude in volts (I_drive * R_antenna)."""
+        current = self._pa_device.saturation_current(self.pa_params, self.vdd)
+        amplitude = current * ANTENNA_LOAD_OHM
+        # The PA clips near the rail; keep amplitudes physical.
+        return float(min(amplitude, 0.95 * self.vdd))
+
+    def center_frequency_ghz(self) -> float:
+        """Pulse centre frequency in GHz, set by the shaping-cell delay."""
+        current = self._shaper_device.saturation_current(self.shaper_params, self.vdd)
+        cap_f = SHAPER_CAP_FF * self.shaper_params.cpar * 1e-15
+        delay_s = cap_f * self.vdd / current
+        return float(SHAPER_FREQ_SCALE / (delay_s * 1e9))
+
+    def transmit(self, bits: np.ndarray, trojan=None, key_bits: Optional[np.ndarray] = None,
+                 ) -> PulseTrain:
+        """Transmit one 128-bit ciphertext block with on-off keying.
+
+        A pulse is emitted for every '1' ciphertext bit; '0' bits are silent.
+        When a ``trojan`` is installed it may perturb each emitted pulse as a
+        function of the key bit at the same index (``key_bits``), hiding the
+        key in the amplitude/frequency margins.
+
+        Parameters
+        ----------
+        bits:
+            The 128 ciphertext bits, MSB-first.
+        trojan:
+            Optional :class:`~repro.trojans.base.TrojanModel`.
+        key_bits:
+            The 128 secret key bits; required when ``trojan`` is given.
+        """
+        bits = np.asarray(bits, dtype=int)
+        if bits.ndim != 1:
+            raise ValueError(f"bits must be 1-D, got shape {bits.shape}")
+        if not np.all((bits == 0) | (bits == 1)):
+            raise ValueError("bits must contain only 0 and 1")
+
+        emitted = np.flatnonzero(bits == 1)
+        amplitudes = np.full(emitted.shape, self.output_amplitude())
+        frequencies = np.full(emitted.shape, self.center_frequency_ghz())
+
+        if trojan is not None:
+            if key_bits is None:
+                raise ValueError("key_bits are required when a trojan is installed")
+            key_bits = np.asarray(key_bits, dtype=int)
+            if key_bits.shape != bits.shape:
+                raise ValueError(
+                    f"key_bits shape {key_bits.shape} must match bits shape {bits.shape}"
+                )
+            amplitudes, frequencies = trojan.modulate(
+                bit_indices=emitted,
+                leaked_bits=key_bits[emitted],
+                amplitudes=amplitudes,
+                center_frequencies_ghz=frequencies,
+            )
+
+        return PulseTrain(
+            bit_indices=emitted,
+            amplitudes=amplitudes,
+            center_frequencies_ghz=frequencies,
+        )

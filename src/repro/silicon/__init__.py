@@ -1,0 +1,48 @@
+"""Silicon substrate: foundry fabrication, PCM structures and instruments.
+
+This package synthesizes what the paper obtains from real TSMC 350 nm
+silicon: a population of fabricated dies whose process operating point has
+drifted away from the (stale) Spice simulation deck, plus the on-die Process
+Control Monitor (PCM) structures that anchor the detection method in silicon.
+
+Base process definitions (parameters, variation, wafers) live in
+:mod:`repro.process` and are re-exported here for convenience.
+"""
+
+from repro.process.parameters import (
+    PARAMETER_NAMES,
+    OperatingPointShift,
+    ProcessParameters,
+    nominal_350nm,
+)
+from repro.process.variation import VariationModel, default_variation_350nm
+from repro.process.wafer import DieSite, Lot, Wafer
+from repro.silicon.foundry import FabricatedDie, Foundry
+from repro.silicon.instruments import DelayAnalyzer, Instrument, PowerMeter
+from repro.silicon.pcm import (
+    DigitalFmaxPCM,
+    PCMSuite,
+    PathDelayPCM,
+    RingOscillatorPCM,
+)
+
+__all__ = [
+    "ProcessParameters",
+    "OperatingPointShift",
+    "PARAMETER_NAMES",
+    "nominal_350nm",
+    "VariationModel",
+    "default_variation_350nm",
+    "Foundry",
+    "FabricatedDie",
+    "PathDelayPCM",
+    "RingOscillatorPCM",
+    "DigitalFmaxPCM",
+    "PCMSuite",
+    "Instrument",
+    "PowerMeter",
+    "DelayAnalyzer",
+    "Lot",
+    "Wafer",
+    "DieSite",
+]

@@ -1,0 +1,146 @@
+"""Process Control Monitor (PCM) structures.
+
+PCMs (a.k.a. e-tests) are simple structures on the wafer kerf or the die that
+probe the operating point of the fabrication process.  They are functionally
+independent of the product circuit and are scrutinized by process engineers
+for yield learning — which is why the paper treats them as the root of trust
+that replaces golden chips.
+
+The platform chip of the paper carries ``np = 1`` PCM: the delay of a simple
+digital path.  We also provide a ring-oscillator PCM for the ``np > 1``
+ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.circuits.gates import inverter, nand2, nor2
+from repro.circuits.mosfet import DEFAULT_VDD
+from repro.circuits.path import CriticalPath
+from repro.process.parameters import ProcessParameters
+
+
+@dataclass(frozen=True)
+class PathDelayPCM:
+    """Delay of a simple digital path (an inverter chain), in nanoseconds."""
+
+    name: str = "path_delay_ns"
+    stage_count: int = 31
+    output_load_ff: float = 25.0
+    vdd: float = DEFAULT_VDD
+
+    def __post_init__(self):
+        if self.stage_count <= 0:
+            raise ValueError(f"stage_count must be positive, got {self.stage_count}")
+        path = CriticalPath.inverter_chain(
+            self.stage_count, inverter, name=self.name, output_load_ff=self.output_load_ff
+        )
+        object.__setattr__(self, "_path", path)
+
+    def measure(self, params: ProcessParameters) -> float:
+        """Noise-free path delay under local parameters ``params``."""
+        return self._path.delay_ns(params, vdd=self.vdd)
+
+
+@dataclass(frozen=True)
+class RingOscillatorPCM:
+    """Frequency of an odd-stage ring oscillator, in MHz."""
+
+    name: str = "ring_osc_mhz"
+    stage_count: int = 51
+    vdd: float = DEFAULT_VDD
+
+    def __post_init__(self):
+        if self.stage_count < 3 or self.stage_count % 2 == 0:
+            raise ValueError(f"stage_count must be an odd integer >= 3, got {self.stage_count}")
+        # A ring stage drives exactly one identical stage: no external load.
+        path = CriticalPath.inverter_chain(
+            self.stage_count, inverter, name=self.name, output_load_ff=0.0
+        )
+        object.__setattr__(self, "_path", path)
+
+    def measure(self, params: ProcessParameters) -> float:
+        """Oscillation frequency f = 1 / (2 * N * t_stage), in MHz."""
+        # Total chain delay already sums N stage delays; the ring period is
+        # twice that (rising + falling traversal).
+        total_ns = self._path.delay_ns(params, vdd=self.vdd)
+        period_ns = 2.0 * total_ns
+        return 1e3 / period_ns  # ns -> MHz
+
+
+@dataclass(frozen=True)
+class DigitalFmaxPCM:
+    """Maximum clock frequency of a registered digital block, in MHz.
+
+    Modelled as the reciprocal of a heterogeneous critical path — a mix of
+    NAND/NOR/inverter stages like the longest path through an AES round —
+    plus a flop setup overhead.  Product fmax screening data is routinely
+    available at production test, making this a realistic additional PCM.
+    """
+
+    name: str = "digital_fmax_mhz"
+    rounds_of: int = 4
+    setup_overhead_ns: float = 0.35
+    vdd: float = DEFAULT_VDD
+
+    def __post_init__(self):
+        if self.rounds_of <= 0:
+            raise ValueError(f"rounds_of must be positive, got {self.rounds_of}")
+        if self.setup_overhead_ns < 0:
+            raise ValueError(
+                f"setup_overhead_ns must be non-negative, got {self.setup_overhead_ns}"
+            )
+        gates = []
+        for _ in range(self.rounds_of):
+            gates.extend([nand2(), nor2(), inverter(), nand2(), inverter()])
+        path = CriticalPath(gates=gates, output_load_ff=18.0, name=self.name)
+        object.__setattr__(self, "_path", path)
+
+    def measure(self, params: ProcessParameters) -> float:
+        """fmax = 1 / (t_path + t_setup), in MHz."""
+        period_ns = self._path.delay_ns(params, vdd=self.vdd) + self.setup_overhead_ns
+        return 1e3 / period_ns
+
+
+@dataclass
+class PCMSuite:
+    """The ordered set of PCM structures measured on every device.
+
+    The paper uses a single path-delay PCM (``np = 1``); ablation A3 sweeps
+    richer suites.
+    """
+
+    monitors: List = field(default_factory=lambda: [PathDelayPCM()])
+
+    def __post_init__(self):
+        if not self.monitors:
+            raise ValueError("a PCM suite needs at least one monitor")
+
+    @property
+    def names(self) -> List[str]:
+        """Feature names, in measurement order."""
+        return [monitor.name for monitor in self.monitors]
+
+    def __len__(self) -> int:
+        return len(self.monitors)
+
+    def measure(self, params: ProcessParameters) -> List[float]:
+        """Noise-free measurements of every monitor under ``params``."""
+        return [monitor.measure(params) for monitor in self.monitors]
+
+    @classmethod
+    def paper_default(cls) -> "PCMSuite":
+        """The paper's configuration: one path-delay measurement."""
+        return cls(monitors=[PathDelayPCM()])
+
+    @classmethod
+    def extended(cls) -> "PCMSuite":
+        """A richer suite for ablations: path delay + ring oscillator."""
+        return cls(monitors=[PathDelayPCM(), RingOscillatorPCM()])
+
+    @classmethod
+    def full(cls) -> "PCMSuite":
+        """Every monitor: path delay, ring oscillator, digital fmax."""
+        return cls(monitors=[PathDelayPCM(), RingOscillatorPCM(), DigitalFmaxPCM()])

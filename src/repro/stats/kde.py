@@ -1,0 +1,271 @@
+"""Epanechnikov kernel density estimation and tail-enhanced sampling.
+
+Implements the paper's Section 2.5 (following Silverman 1986):
+
+* the fixed-bandwidth multivariate Epanechnikov estimate, Eq. (5)-(6);
+* the *adaptive* estimate, Eq. (7)-(9), whose local bandwidths
+  ``lambda_i = (f(m_i) / g) ** -alpha`` widen the kernels at the tails;
+* sampling of arbitrarily large synthetic populations from the estimate —
+  the mechanism that turns 100 Monte Carlo devices into the 10^5-sample
+  tail-enhanced datasets S2 and S5.
+
+Fingerprint populations are heavily correlated, so the estimator operates in
+whitened coordinates by default (Silverman's pre-whitening advice), using
+the floored :class:`~repro.stats.preprocessing.Whitener`.  The eigenvalue
+floor bounds how much tail enhancement can inflate near-degenerate
+directions — exactly the directions in which a Trojan displaces a device.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.stats.preprocessing import Whitener
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_2d, check_positive
+
+
+def unit_ball_volume(d: int) -> float:
+    """Volume c_d of the d-dimensional unit sphere (Silverman's c_d)."""
+    if d <= 0:
+        raise ValueError(f"dimension must be positive, got {d}")
+    return float(2.0 * math.pi ** (d / 2.0) / (d * math.gamma(d / 2.0)))
+
+
+def epanechnikov_kernel_value(t: np.ndarray) -> np.ndarray:
+    """Multivariate Epanechnikov kernel Ke(t), Eq. (6), rows of ``t``.
+
+    Ke(t) = (1/2) c_d^-1 (d + 2)(1 - t't)  for t't < 1, else 0.
+    """
+    t = np.atleast_2d(np.asarray(t, dtype=float))
+    d = t.shape[1]
+    sq = np.sum(t**2, axis=1)
+    value = 0.5 * (d + 2.0) / unit_ball_volume(d) * (1.0 - sq)
+    return np.where(sq < 1.0, value, 0.0)
+
+
+def epanechnikov_bandwidth(n: int, d: int) -> float:
+    """Silverman's optimal global bandwidth for unit-covariance data.
+
+    h_opt = A(K) * n^(-1/(d+4)),  A(K) = [8 c_d^-1 (d+4) (2 sqrt(pi))^d]^(1/(d+4))
+    (Silverman 1986, Eq. 4.15, Epanechnikov kernel).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if d <= 0:
+        raise ValueError(f"d must be positive, got {d}")
+    a_k = (8.0 / unit_ball_volume(d) * (d + 4.0) * (2.0 * math.sqrt(math.pi)) ** d) ** (
+        1.0 / (d + 4.0)
+    )
+    return float(a_k * n ** (-1.0 / (d + 4.0)))
+
+
+def _sample_unit_epanechnikov(count: int, d: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw ``count`` points from the d-dim Epanechnikov kernel density.
+
+    Rejection from the uniform distribution on the unit ball: a uniform-ball
+    radius has density ∝ r^(d-1); accepting with probability (1 - r^2)
+    yields the kernel's radial law ∝ r^(d-1)(1 - r^2).  Acceptance rate is
+    2/(d+2), so we oversample in batches.
+    """
+    accepted = np.empty((0, d))
+    # Expected acceptance 2/(d+2); 1.5x head-room keeps iterations low.
+    batch = max(64, int(count * (d + 2) / 2 * 1.5))
+    while accepted.shape[0] < count:
+        directions = rng.standard_normal((batch, d))
+        norms = np.linalg.norm(directions, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        directions /= norms
+        radii = rng.random(batch) ** (1.0 / d)
+        keep = rng.random(batch) < (1.0 - radii**2)
+        accepted = np.vstack([accepted, directions[keep] * radii[keep, None]])
+    return accepted[:count]
+
+
+class EpanechnikovKde:
+    """Fixed-bandwidth multivariate Epanechnikov KDE (paper Eq. 5).
+
+    Parameters
+    ----------
+    bandwidth:
+        Global bandwidth ``h`` in whitened coordinates; ``None`` selects
+        Silverman's rule (:func:`epanechnikov_bandwidth`).
+    bandwidth_scale:
+        Multiplier on the Silverman bandwidth (ignored when ``bandwidth``
+        is given).  Silverman's rule is optimal for unimodal reference
+        densities and tends to oversmooth real populations; values below 1
+        trade tail reach for fidelity.
+    whiten:
+        Operate in whitened coordinates (recommended for correlated data).
+    floor_ratio / floor_sigma:
+        Eigenvalue floor of the internal whitener (relative / absolute);
+        bounds tail inflation of near-degenerate directions.
+    """
+
+    def __init__(self, bandwidth: Optional[float] = None, bandwidth_scale: float = 1.0,
+                 whiten: bool = True, floor_ratio: float = 1e-4,
+                 floor_sigma: float = 0.0):
+        if bandwidth is not None:
+            check_positive(bandwidth, "bandwidth")
+        check_positive(bandwidth_scale, "bandwidth_scale")
+        self.bandwidth = bandwidth
+        self.bandwidth_scale = float(bandwidth_scale)
+        self.whiten = whiten
+        self.floor_ratio = floor_ratio
+        self.floor_sigma = float(floor_sigma)
+        self._whitener: Optional[Whitener] = None
+        self._points: Optional[np.ndarray] = None  # training data, working coords
+        self._h: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+
+    def fit(self, data) -> "EpanechnikovKde":
+        """Fit the estimate on an ``(M, d)`` sample matrix."""
+        data = check_2d(data, "data")
+        if self.whiten:
+            self._whitener = Whitener(
+                floor_ratio=self.floor_ratio, floor_sigma=self.floor_sigma
+            ).fit(data)
+            self._points = self._whitener.transform(data)
+        else:
+            self._whitener = None
+            self._points = data.copy()
+        n, d = self._points.shape
+        if self.bandwidth is not None:
+            self._h = self.bandwidth
+        else:
+            self._h = self.bandwidth_scale * epanechnikov_bandwidth(n, d)
+        return self
+
+    def _check_fitted(self):
+        if self._points is None:
+            raise RuntimeError("KDE must be fitted before use")
+
+    def _to_working(self, points: np.ndarray) -> np.ndarray:
+        return self._whitener.transform(points) if self._whitener is not None else points
+
+    def _jacobian(self) -> float:
+        """|det d(working)/d(original)| — converts densities between spaces."""
+        if self._whitener is None:
+            return 1.0
+        return float(1.0 / np.prod(self._whitener.scales_))
+
+    @property
+    def h(self) -> float:
+        """The fitted global bandwidth (whitened coordinates)."""
+        self._check_fitted()
+        return self._h
+
+    # ------------------------------------------------------------------
+    # evaluation & sampling
+    # ------------------------------------------------------------------
+
+    def _density_working(self, working: np.ndarray,
+                         bandwidths: Optional[np.ndarray] = None) -> np.ndarray:
+        """Density in working coordinates; ``bandwidths`` is per-observation."""
+        pts = self._points
+        m, d = pts.shape
+        h = np.full(m, self._h) if bandwidths is None else bandwidths
+        out = np.zeros(working.shape[0])
+        # Evaluate kernel-by-observation: M is small (<= a few thousand).
+        for i in range(m):
+            t = (working - pts[i]) / h[i]
+            out += epanechnikov_kernel_value(t) / h[i] ** d
+        return out / m
+
+    def density(self, points) -> np.ndarray:
+        """Estimated density f(m) at each row of ``points`` (original space)."""
+        self._check_fitted()
+        points = check_2d(points, "points")
+        working = self._to_working(points)
+        return self._density_working(working) * self._jacobian()
+
+    def sample(self, size: int, rng: SeedLike = None) -> np.ndarray:
+        """Draw ``size`` synthetic observations from the estimate."""
+        self._check_fitted()
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        gen = as_generator(rng)
+        m, d = self._points.shape
+        centers = gen.integers(0, m, size=size)
+        offsets = _sample_unit_epanechnikov(size, d, gen) * self._h
+        working = self._points[centers] + offsets
+        if self._whitener is not None:
+            return self._whitener.inverse_transform(working)
+        return working
+
+
+class AdaptiveKde(EpanechnikovKde):
+    """Adaptive-bandwidth Epanechnikov KDE (paper Eq. 7-9).
+
+    A pilot fixed-bandwidth estimate assigns each observation a local
+    bandwidth factor ``lambda_i = (f(m_i)/g)^-alpha`` (``g`` the geometric
+    mean of the pilot densities), widening kernels in low-density regions —
+    the distribution tails that matter when drawing a trusted boundary.
+
+    Parameters
+    ----------
+    alpha:
+        Tail sensitivity in [0, 1].  ``alpha = 0`` reduces to the fixed
+        estimate; the paper's convention (and Silverman's default) is 0.5.
+    """
+
+    def __init__(self, alpha: float = 0.5, bandwidth: Optional[float] = None,
+                 bandwidth_scale: float = 1.0, whiten: bool = True,
+                 floor_ratio: float = 1e-4, floor_sigma: float = 0.0):
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        super().__init__(
+            bandwidth=bandwidth,
+            bandwidth_scale=bandwidth_scale,
+            whiten=whiten,
+            floor_ratio=floor_ratio,
+            floor_sigma=floor_sigma,
+        )
+        self.alpha = float(alpha)
+        self._lambdas: Optional[np.ndarray] = None
+
+    def fit(self, data) -> "AdaptiveKde":
+        """Fit pilot estimate, then the local bandwidth factors (Eq. 8-9)."""
+        super().fit(data)
+        pilot = self._density_working(self._points)
+        # Guard against zero pilot density (isolated points with tiny h).
+        positive = np.clip(pilot, np.finfo(float).tiny, None)
+        log_g = float(np.mean(np.log(positive)))
+        g = math.exp(log_g)
+        self._lambdas = (positive / g) ** (-self.alpha)
+        return self
+
+    @property
+    def local_bandwidth_factors(self) -> np.ndarray:
+        """The fitted lambda_i factors, one per observation."""
+        self._check_fitted()
+        return self._lambdas.copy()
+
+    def density(self, points) -> np.ndarray:
+        """Adaptive density estimate f_alpha(m) at each row of ``points``."""
+        self._check_fitted()
+        points = check_2d(points, "points")
+        working = self._to_working(points)
+        bandwidths = self._h * self._lambdas
+        return self._density_working(working, bandwidths=bandwidths) * self._jacobian()
+
+    def sample(self, size: int, rng: SeedLike = None) -> np.ndarray:
+        """Draw ``size`` synthetic observations, honoring local bandwidths."""
+        self._check_fitted()
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        gen = as_generator(rng)
+        m, d = self._points.shape
+        centers = gen.integers(0, m, size=size)
+        scales = (self._h * self._lambdas)[centers]
+        offsets = _sample_unit_epanechnikov(size, d, gen) * scales[:, None]
+        working = self._points[centers] + offsets
+        if self._whitener is not None:
+            return self._whitener.inverse_transform(working)
+        return working

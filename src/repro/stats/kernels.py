@@ -1,0 +1,65 @@
+"""Kernel functions and Gram matrices for KMM and the one-class SVM."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_2d, check_positive
+
+
+def _pairwise_sq_dists(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between the rows of ``x`` and ``y``."""
+    x_norm = np.sum(x**2, axis=1)[:, None]
+    y_norm = np.sum(y**2, axis=1)[None, :]
+    sq = x_norm + y_norm - 2.0 * (x @ y.T)
+    return np.maximum(sq, 0.0)
+
+
+def rbf_kernel(x, y=None, gamma: float = 1.0) -> np.ndarray:
+    """Gaussian RBF Gram matrix ``exp(-gamma * ||xi - yj||^2)``."""
+    x = check_2d(x, "x")
+    y = x if y is None else check_2d(y, "y")
+    check_positive(gamma, "gamma")
+    return np.exp(-gamma * _pairwise_sq_dists(x, y))
+
+
+def linear_kernel(x, y=None) -> np.ndarray:
+    """Linear Gram matrix ``xi . yj``."""
+    x = check_2d(x, "x")
+    y = x if y is None else check_2d(y, "y")
+    return x @ y.T
+
+
+def polynomial_kernel(x, y=None, degree: int = 3, coef0: float = 1.0,
+                      gamma: float = 1.0) -> np.ndarray:
+    """Polynomial Gram matrix ``(gamma * xi . yj + coef0) ** degree``."""
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    x = check_2d(x, "x")
+    y = x if y is None else check_2d(y, "y")
+    check_positive(gamma, "gamma")
+    return (gamma * (x @ y.T) + coef0) ** degree
+
+
+def median_heuristic_gamma(x, max_samples: int = 1000, rng=None) -> float:
+    """RBF gamma from the median pairwise distance heuristic.
+
+    gamma = 1 / (2 * median(||xi - xj||)^2); a robust default bandwidth for
+    both KMM and the one-class SVM.  Subsamples to ``max_samples`` rows for
+    large populations.
+    """
+    x = check_2d(x, "x")
+    if x.shape[0] > max_samples:
+        gen = np.random.default_rng(rng if not isinstance(rng, np.random.Generator) else None)
+        if isinstance(rng, np.random.Generator):
+            gen = rng
+        idx = gen.choice(x.shape[0], size=max_samples, replace=False)
+        x = x[idx]
+    sq = _pairwise_sq_dists(x, x)
+    upper = sq[np.triu_indices_from(sq, k=1)]
+    if upper.size == 0:
+        return 1.0
+    median_sq = float(np.median(upper))
+    if median_sq <= 0.0:
+        return 1.0
+    return 1.0 / (2.0 * median_sq)

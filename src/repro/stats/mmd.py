@@ -1,0 +1,81 @@
+"""Maximum Mean Discrepancy: the distribution-match diagnostic behind KMM.
+
+KMM minimizes the distance between kernel mean embeddings; MMD is that
+distance itself.  The library uses it to *verify* calibration quality: the
+weighted/resampled simulated PCM population should sit much closer (in MMD)
+to the silicon PCMs than the raw simulation does.  Exposed as a public
+diagnostic because any golden chip-free deployment should check it before
+trusting boundary B4/B5.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.stats.kernels import median_heuristic_gamma, rbf_kernel
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_2d
+
+
+def mmd_squared(x, y, gamma: Optional[float] = None) -> float:
+    """Unbiased estimate of the squared MMD between two samples.
+
+    MMD^2 = E[k(x,x')] + E[k(y,y')] - 2 E[k(x,y)], with the diagonal terms
+    excluded from the within-sample means (the U-statistic form, which can
+    be slightly negative for close distributions).
+    """
+    x = check_2d(x, "x")
+    y = check_2d(y, "y")
+    if x.shape[1] != y.shape[1]:
+        raise ValueError(
+            f"x and y must share features, got {x.shape[1]} and {y.shape[1]}"
+        )
+    if x.shape[0] < 2 or y.shape[0] < 2:
+        raise ValueError("both samples need at least 2 points")
+    if gamma is None:
+        gamma = median_heuristic_gamma(np.vstack([x, y]))
+
+    kxx = rbf_kernel(x, gamma=gamma)
+    kyy = rbf_kernel(y, gamma=gamma)
+    kxy = rbf_kernel(x, y, gamma=gamma)
+    n, m = x.shape[0], y.shape[0]
+    xx = (kxx.sum() - np.trace(kxx)) / (n * (n - 1))
+    yy = (kyy.sum() - np.trace(kyy)) / (m * (m - 1))
+    xy = kxy.mean()
+    return float(xx + yy - 2.0 * xy)
+
+
+def mmd_permutation_test(
+    x,
+    y,
+    n_permutations: int = 200,
+    gamma: Optional[float] = None,
+    rng: SeedLike = None,
+) -> tuple:
+    """Permutation test of H0: x and y come from the same distribution.
+
+    Returns ``(mmd2, p_value)``.  A small p-value means the two populations
+    are distinguishable — e.g. silicon PCMs vs an uncalibrated simulation.
+    """
+    x = check_2d(x, "x")
+    y = check_2d(y, "y")
+    if n_permutations < 10:
+        raise ValueError(f"n_permutations must be >= 10, got {n_permutations}")
+    if gamma is None:
+        gamma = median_heuristic_gamma(np.vstack([x, y]))
+
+    observed = mmd_squared(x, y, gamma=gamma)
+    pooled = np.vstack([x, y])
+    n = x.shape[0]
+    gen = as_generator(rng)
+    exceed = 0
+    for _ in range(n_permutations):
+        permutation = gen.permutation(pooled.shape[0])
+        shuffled = pooled[permutation]
+        statistic = mmd_squared(shuffled[:n], shuffled[n:], gamma=gamma)
+        if statistic >= observed:
+            exceed += 1
+    p_value = (exceed + 1) / (n_permutations + 1)
+    return observed, float(p_value)

@@ -1,0 +1,118 @@
+"""A small convex quadratic-programming front-end on scipy.
+
+Solves
+
+    minimize    0.5 * x' P x + q' x
+    subject to  lb <= x <= ub
+                A_eq x  = b_eq      (optional)
+                G    x <= h         (optional)
+
+via SLSQP with analytic gradients.  Problem sizes in this library are modest
+(KMM over a few hundred Monte Carlo samples), so a dense general-purpose
+solver is the right tool; the one-class SVM has its own specialized SMO
+solver in :mod:`repro.learn.ocsvm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy import optimize
+
+from repro.utils.validation import check_1d, check_2d
+
+
+@dataclass
+class QpResult:
+    """Solution of one QP: optimizer output plus the achieved objective."""
+
+    x: np.ndarray
+    objective: float
+    converged: bool
+    message: str
+
+
+def solve_qp(
+    P,
+    q,
+    lb=None,
+    ub=None,
+    A_eq=None,
+    b_eq=None,
+    G=None,
+    h=None,
+    x0=None,
+    max_iterations: int = 300,
+) -> QpResult:
+    """Solve the box/linearly-constrained convex QP described above.
+
+    ``P`` must be symmetric positive semi-definite (a tiny asymmetry from
+    floating-point Gram matrices is symmetrized away).  Raises
+    ``ValueError`` on malformed inputs; a non-converged optimizer is
+    reported through :attr:`QpResult.converged` rather than raising, since
+    near-optimal KMM weights are still usable.
+    """
+    P = check_2d(P, "P")
+    q = check_1d(q, "q")
+    n = q.shape[0]
+    if P.shape != (n, n):
+        raise ValueError(f"P must be ({n}, {n}) to match q, got {P.shape}")
+    P = 0.5 * (P + P.T)
+
+    lb_arr = np.full(n, -np.inf) if lb is None else np.broadcast_to(
+        np.asarray(lb, dtype=float), (n,)
+    ).copy()
+    ub_arr = np.full(n, np.inf) if ub is None else np.broadcast_to(
+        np.asarray(ub, dtype=float), (n,)
+    ).copy()
+    if np.any(lb_arr > ub_arr):
+        raise ValueError("lower bounds exceed upper bounds")
+
+    constraints = []
+    if A_eq is not None:
+        A_eq = check_2d(A_eq, "A_eq")
+        b_eq = check_1d(b_eq, "b_eq")
+        if A_eq.shape != (b_eq.shape[0], n):
+            raise ValueError(f"A_eq shape {A_eq.shape} incompatible with n={n}")
+        constraints.append(
+            {"type": "eq", "fun": lambda x, A=A_eq, b=b_eq: A @ x - b,
+             "jac": lambda x, A=A_eq: A}
+        )
+    if G is not None:
+        G = check_2d(G, "G")
+        h = check_1d(h, "h")
+        if G.shape != (h.shape[0], n):
+            raise ValueError(f"G shape {G.shape} incompatible with n={n}")
+        constraints.append(
+            {"type": "ineq", "fun": lambda x, G=G, h=h: h - G @ x,
+             "jac": lambda x, G=G: -G}
+        )
+
+    if x0 is None:
+        start = np.clip(np.zeros(n), lb_arr, ub_arr)
+    else:
+        start = np.clip(check_1d(x0, "x0"), lb_arr, ub_arr)
+
+    def objective(x):
+        return 0.5 * x @ P @ x + q @ x
+
+    def gradient(x):
+        return P @ x + q
+
+    result = optimize.minimize(
+        objective,
+        start,
+        jac=gradient,
+        bounds=list(zip(lb_arr, ub_arr)),
+        constraints=constraints,
+        method="SLSQP",
+        options={"maxiter": max_iterations, "ftol": 1e-10},
+    )
+    return QpResult(
+        x=np.asarray(result.x, dtype=float),
+        objective=float(result.fun),
+        converged=bool(result.success),
+        message=str(result.message),
+    )

@@ -1,0 +1,23 @@
+"""The experimentation platform: the wireless cryptographic IC and its bench.
+
+A :class:`WirelessCryptoChip` chains the AES-128 core, the serialization
+buffer and the UWB transmitter of one physical die (Trojan-free or infested).
+A :class:`FingerprintCampaign` measures the paper's side-channel fingerprint
+(output power of ``nm`` fixed ciphertext block transmissions) and the PCM
+vector of a device.
+"""
+
+from repro.testbed.campaign import FingerprintCampaign, MeasuredDevice
+from repro.testbed.chip import WirelessCryptoChip
+from repro.testbed.serializer import SerializationBuffer
+from repro.testbed.spec import ProductionTest, SpecLimits, SpecResult
+
+__all__ = [
+    "WirelessCryptoChip",
+    "SerializationBuffer",
+    "ProductionTest",
+    "SpecLimits",
+    "SpecResult",
+    "FingerprintCampaign",
+    "MeasuredDevice",
+]

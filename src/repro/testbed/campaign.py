@@ -1,0 +1,203 @@
+"""Measurement campaign: fingerprints and PCM vectors for device populations.
+
+The paper's measurement protocol, reproduced exactly:
+
+* side-channel fingerprint = measured output power while transmitting
+  ``nm = 6`` randomly chosen (then frozen) 128-bit ciphertext blocks,
+  encrypted with a randomly chosen (then frozen) key;
+* PCM vector = ``np`` measurements of simple on-die monitor structures
+  (default: one digital path delay).
+
+One campaign object owns the frozen key/plaintexts and the bench instruments,
+so every device — simulated or fabricated, Trojan-free or infested — is
+measured under identical stimuli.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.crypto.bits import random_block, random_key
+from repro.rf.channel import AwgnChannel
+from repro.rf.receiver import BandPassReceiver
+from repro.silicon.instruments import DelayAnalyzer, PowerMeter
+from repro.silicon.pcm import PCMSuite
+from repro.testbed.chip import WirelessCryptoChip
+from repro.trojans.base import TrojanModel
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass
+class MeasuredDevice:
+    """One measured device under Trojan test (DUTT)."""
+
+    label: str
+    pcms: np.ndarray
+    fingerprint: np.ndarray
+    infested: bool
+    trojan_name: str = "none"
+
+
+@dataclass
+class FingerprintCampaign:
+    """Frozen stimuli + bench used to measure every device identically.
+
+    Parameters
+    ----------
+    key:
+        The on-chip AES key (frozen for the whole experiment).
+    plaintexts:
+        The ``nm`` plaintext blocks whose ciphertext transmissions are
+        measured.  Drawn once with :meth:`random_stimuli`.
+    pcm_suite:
+        The PCM structures measured on each die.
+    receiver:
+        Band-limited power measurement front-end.
+    channel:
+        Wireless channel between chip and bench (``None`` = ideal).
+    power_meter / delay_analyzer:
+        Bench instruments (``None`` = noise-free readings, as in Spice).
+    """
+
+    key: bytes
+    plaintexts: List[bytes]
+    pcm_suite: PCMSuite = field(default_factory=PCMSuite.paper_default)
+    receiver: BandPassReceiver = field(default_factory=BandPassReceiver)
+    channel: Optional[AwgnChannel] = None
+    power_meter: Optional[PowerMeter] = None
+    delay_analyzer: Optional[DelayAnalyzer] = None
+
+    def __post_init__(self):
+        if len(self.key) != 16:
+            raise ValueError(f"key must be 16 bytes, got {len(self.key)}")
+        if not self.plaintexts:
+            raise ValueError("campaign needs at least one plaintext block")
+        for block in self.plaintexts:
+            if len(block) != 16:
+                raise ValueError("every plaintext block must be 16 bytes")
+
+    @classmethod
+    def random_stimuli(
+        cls,
+        nm: int = 6,
+        seed: SeedLike = None,
+        noisy_bench: bool = True,
+        pcm_suite: Optional[PCMSuite] = None,
+        receiver: Optional[BandPassReceiver] = None,
+    ) -> "FingerprintCampaign":
+        """Draw the frozen key and ``nm`` plaintext blocks, build the bench.
+
+        With ``noisy_bench=True`` the campaign models a physical bench
+        (instrument noise); with ``False`` it models Spice measurements.
+        """
+        if nm <= 0:
+            raise ValueError(f"nm must be positive, got {nm}")
+        rng = as_generator(seed)
+        key = random_key(rng)
+        plaintexts = [random_block(rng) for _ in range(nm)]
+        kwargs = {}
+        if noisy_bench:
+            kwargs = {
+                "power_meter": PowerMeter(seed=rng),
+                "delay_analyzer": DelayAnalyzer(seed=rng),
+            }
+        return cls(
+            key=key,
+            plaintexts=plaintexts,
+            pcm_suite=pcm_suite or PCMSuite.paper_default(),
+            receiver=receiver or BandPassReceiver(),
+            **kwargs,
+        )
+
+    @property
+    def nm(self) -> int:
+        """Fingerprint dimensionality (number of measured block powers)."""
+        return len(self.plaintexts)
+
+    @property
+    def np_dim(self) -> int:
+        """PCM vector dimensionality."""
+        return len(self.pcm_suite)
+
+    def silicon_bench(self, seed: SeedLike = None,
+                      pcm_noise: float = 0.015) -> "FingerprintCampaign":
+        """A copy of this campaign with noisy bench instruments attached.
+
+        Used to measure fabricated silicon with the same stimuli that the
+        (noise-free) simulation campaign used.  ``pcm_noise`` is the relative
+        gain error of the PCM delay measurement: e-test readings on the kerf
+        are single-shot production measurements and are considerably noisier
+        than the averaged RF power measurements of the fingerprint bench.
+        """
+        rng = as_generator(seed)
+        return FingerprintCampaign(
+            key=self.key,
+            plaintexts=list(self.plaintexts),
+            pcm_suite=self.pcm_suite,
+            receiver=self.receiver,
+            channel=self.channel,
+            power_meter=PowerMeter(seed=rng),
+            delay_analyzer=DelayAnalyzer(seed=rng, gain_sigma=pcm_noise),
+        )
+
+    # ------------------------------------------------------------------
+    # measurements
+    # ------------------------------------------------------------------
+
+    def fingerprint(self, chip: WirelessCryptoChip) -> np.ndarray:
+        """Measure the ``nm``-dimensional power fingerprint of one chip."""
+        powers = []
+        for plaintext in self.plaintexts:
+            train = chip.transmit_plaintext(plaintext)
+            if self.channel is not None:
+                train = self.channel.propagate(train)
+            power = self.receiver.block_power(train)
+            if self.power_meter is not None:
+                power = self.power_meter.read(power)
+            powers.append(power)
+        return np.asarray(powers, dtype=float)
+
+    def pcm_vector(self, die) -> np.ndarray:
+        """Measure the PCM vector of one die.
+
+        Each monitor is a distinct on-die structure with its own local
+        mismatch parameters; monitors are shared by all design versions on
+        the die (there is one PCM per die, not per version).
+        """
+        readings = []
+        for monitor in self.pcm_suite.monitors:
+            local = die.structure_params(f"pcm.{monitor.name}")
+            value = monitor.measure(local)
+            if self.delay_analyzer is not None:
+                value = self.delay_analyzer.read(value)
+            readings.append(value)
+        return np.asarray(readings, dtype=float)
+
+    def measure_device(
+        self,
+        die,
+        trojan: Optional[TrojanModel] = None,
+        version: str = "TF",
+    ) -> MeasuredDevice:
+        """Measure one design version on one die: PCMs + fingerprint."""
+        chip = WirelessCryptoChip(die=die, key=self.key, trojan=trojan, version=version)
+        label = getattr(die, "label", lambda: "die")()
+        return MeasuredDevice(
+            label=f"{label}/{version}",
+            pcms=self.pcm_vector(die),
+            fingerprint=self.fingerprint(chip),
+            infested=trojan is not None,
+            trojan_name=trojan.name if trojan is not None else "none",
+        )
+
+    def measure_population(
+        self,
+        dies,
+        trojan: Optional[TrojanModel] = None,
+        version: str = "TF",
+    ) -> List[MeasuredDevice]:
+        """Measure one design version across a die population."""
+        return [self.measure_device(die, trojan=trojan, version=version) for die in dies]

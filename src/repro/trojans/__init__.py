@@ -1,0 +1,20 @@
+"""Hardware Trojan substrate.
+
+Two silicon-proven Trojans from the paper's platform (Liu/Jin/Makris,
+ICCAD'13) leak the on-chip AES key over the public wireless channel by
+hiding it in the amplitude (Trojan I) or frequency (Trojan II) margins that
+process variation already occupies.  :mod:`repro.trojans.attacker` shows the
+leak is real: a listener who knows the encoding recovers the full key.
+"""
+
+from repro.trojans.amplitude import AmplitudeModulationTrojan
+from repro.trojans.attacker import KeyRecoveryAttacker
+from repro.trojans.base import TrojanModel
+from repro.trojans.frequency import FrequencyModulationTrojan
+
+__all__ = [
+    "TrojanModel",
+    "AmplitudeModulationTrojan",
+    "FrequencyModulationTrojan",
+    "KeyRecoveryAttacker",
+]

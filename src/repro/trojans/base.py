@@ -1,0 +1,60 @@
+"""Common interface for pulse-level hardware Trojans.
+
+A Trojan observes the secret bit to leak for each transmitted pulse and may
+perturb that pulse's amplitude and/or centre frequency.  The encoding used
+throughout (matching the paper): a leaked key bit of '1' leaves the pulse
+unaltered; a leaked key bit of '0' slightly increases the modulated quantity.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+
+
+class TrojanModel(abc.ABC):
+    """Abstract pulse-train modulation Trojan."""
+
+    #: Human-readable Trojan name for reports.
+    name: str = "trojan"
+
+    @abc.abstractmethod
+    def modulate(
+        self,
+        bit_indices: np.ndarray,
+        leaked_bits: np.ndarray,
+        amplitudes: np.ndarray,
+        center_frequencies_ghz: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Perturb per-pulse amplitude/frequency as a function of leaked bits.
+
+        Parameters
+        ----------
+        bit_indices:
+            Ciphertext bit positions of the emitted pulses (0..127).
+        leaked_bits:
+            The secret bit aligned with each emitted pulse (same length).
+        amplitudes, center_frequencies_ghz:
+            Unmodulated per-pulse values.
+
+        Returns
+        -------
+        (amplitudes, center_frequencies_ghz):
+            The possibly-modulated arrays (new arrays; inputs untouched).
+        """
+
+    @staticmethod
+    def _validate(bit_indices: np.ndarray, leaked_bits: np.ndarray,
+                  amplitudes: np.ndarray, center_frequencies_ghz: np.ndarray) -> None:
+        n = len(bit_indices)
+        for label, arr in (
+            ("leaked_bits", leaked_bits),
+            ("amplitudes", amplitudes),
+            ("center_frequencies_ghz", center_frequencies_ghz),
+        ):
+            if len(arr) != n:
+                raise ValueError(f"{label} length {len(arr)} != pulse count {n}")
+        if not np.all((np.asarray(leaked_bits) == 0) | (np.asarray(leaked_bits) == 1)):
+            raise ValueError("leaked_bits must contain only 0 and 1")

@@ -1,0 +1,22 @@
+"""Shared utilities: deterministic RNG handling and argument validation."""
+
+from repro.utils.rng import as_generator, spawn_children
+from repro.utils.validation import (
+    check_1d,
+    check_2d,
+    check_in_range,
+    check_matching_rows,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_children",
+    "check_1d",
+    "check_2d",
+    "check_in_range",
+    "check_matching_rows",
+    "check_positive",
+    "check_probability",
+]

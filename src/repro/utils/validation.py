@@ -1,0 +1,61 @@
+"""Small argument-validation helpers shared across the library.
+
+The helpers raise early with messages that name the offending argument, so
+errors surface at API boundaries rather than deep inside numerical code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_2d(array, name: str) -> np.ndarray:
+    """Coerce ``array`` to a 2-D ``float64`` array or raise ``ValueError``."""
+    out = np.asarray(array, dtype=float)
+    if out.ndim != 2:
+        raise ValueError(f"{name} must be 2-D (samples x features), got shape {out.shape}")
+    if out.shape[0] == 0:
+        raise ValueError(f"{name} must contain at least one sample")
+    if not np.all(np.isfinite(out)):
+        raise ValueError(f"{name} contains non-finite values")
+    return out
+
+
+def check_1d(array, name: str) -> np.ndarray:
+    """Coerce ``array`` to a 1-D ``float64`` array or raise ``ValueError``."""
+    out = np.asarray(array, dtype=float)
+    if out.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {out.shape}")
+    if not np.all(np.isfinite(out)):
+        raise ValueError(f"{name} contains non-finite values")
+    return out
+
+
+def check_positive(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be strictly positive, got {value!r}")
+    return float(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value`` lies in the open interval (0, 1]."""
+    if not 0 < value <= 1:
+        raise ValueError(f"{name} must be in (0, 1], got {value!r}")
+    return float(value)
+
+
+def check_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return float(value)
+
+
+def check_matching_rows(a: np.ndarray, b: np.ndarray, name_a: str, name_b: str) -> None:
+    """Raise ``ValueError`` unless ``a`` and ``b`` have the same row count."""
+    if a.shape[0] != b.shape[0]:
+        raise ValueError(
+            f"{name_a} and {name_b} must have the same number of rows, "
+            f"got {a.shape[0]} and {b.shape[0]}"
+        )

@@ -1,0 +1,59 @@
+"""Shared fixtures: one small synthetic experiment reused across test modules.
+
+Generating silicon + simulation data is the expensive part of most
+integration tests, so a reduced-size experiment is built once per session.
+Unit tests that need raw populations (fingerprints, PCMs) slice it instead
+of regenerating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.pipeline import GoldenChipFreeDetector
+from repro.experiments.platformcfg import PlatformConfig, generate_experiment_data
+
+
+def small_platform(**overrides) -> PlatformConfig:
+    """A reduced-size platform configuration for fast tests."""
+    defaults = dict(n_chips=12, n_monte_carlo=40, seed=6)
+    defaults.update(overrides)
+    return PlatformConfig(**defaults)
+
+
+def small_detector_config(**overrides) -> DetectorConfig:
+    """A reduced-size detector configuration for fast tests."""
+    defaults = dict(kde_samples=2000, svm_max_training_samples=400, seed=0)
+    defaults.update(overrides)
+    return DetectorConfig(**defaults)
+
+
+@pytest.fixture(scope="session")
+def experiment_data():
+    """A small but complete synthetic experiment (sim + silicon)."""
+    return generate_experiment_data(small_platform())
+
+
+@pytest.fixture(scope="session")
+def full_experiment_data():
+    """The paper-sized experiment (40 chips, 100 MC devices)."""
+    return generate_experiment_data(PlatformConfig())
+
+
+@pytest.fixture(scope="session")
+def fitted_detector(experiment_data):
+    """A detector fitted on the small experiment."""
+    detector = GoldenChipFreeDetector(small_detector_config())
+    detector.fit_premanufacturing(
+        experiment_data.sim_pcms, experiment_data.sim_fingerprints
+    )
+    detector.fit_silicon(experiment_data.dutt_pcms)
+    return detector
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,89 @@
+"""Alpha-power MOSFET model: monotonicity and scaling laws."""
+
+import pytest
+
+from repro.circuits.mosfet import DEFAULT_VDD, AlphaPowerMosfet, MosfetPolarity
+from repro.process.parameters import nominal_350nm
+
+
+@pytest.fixture()
+def nmos():
+    return AlphaPowerMosfet(MosfetPolarity.NMOS, width_um=10.0)
+
+
+@pytest.fixture()
+def pmos():
+    return AlphaPowerMosfet(MosfetPolarity.PMOS, width_um=10.0)
+
+
+def test_rejects_nonpositive_dimensions():
+    with pytest.raises(ValueError):
+        AlphaPowerMosfet(MosfetPolarity.NMOS, width_um=0.0)
+    with pytest.raises(ValueError):
+        AlphaPowerMosfet(MosfetPolarity.NMOS, width_um=1.0, length_um=-1.0)
+
+
+def test_polarity_selects_threshold(nmos, pmos):
+    params = nominal_350nm()
+    assert nmos.threshold(params) == params.vth_n
+    assert pmos.threshold(params) == params.vth_p
+
+
+def test_current_scales_with_width():
+    params = nominal_350nm()
+    narrow = AlphaPowerMosfet(MosfetPolarity.NMOS, width_um=5.0)
+    wide = AlphaPowerMosfet(MosfetPolarity.NMOS, width_um=10.0)
+    ratio = wide.saturation_current(params) / narrow.saturation_current(params)
+    assert ratio == pytest.approx(2.0)
+
+
+def test_current_increases_with_mobility(nmos):
+    base = nominal_350nm()
+    faster = base.perturbed({"mobility_n": 0.1})
+    assert nmos.saturation_current(faster) > nmos.saturation_current(base)
+
+
+def test_current_decreases_with_threshold(nmos):
+    base = nominal_350nm()
+    slower = base.perturbed({"vth_n": 0.05})
+    assert nmos.saturation_current(slower) < nmos.saturation_current(base)
+
+
+def test_current_decreases_with_thicker_oxide(nmos):
+    base = nominal_350nm()
+    thicker = base.perturbed({"tox": 0.5})
+    assert nmos.saturation_current(thicker) < nmos.saturation_current(base)
+
+
+def test_alpha_power_law_exponent(nmos):
+    params = nominal_350nm()
+    i1 = nmos.saturation_current(params, vdd=2.5)
+    i2 = nmos.saturation_current(params, vdd=3.3)
+    expected = ((3.3 - params.vth_n) / (2.5 - params.vth_n)) ** nmos.alpha
+    assert i2 / i1 == pytest.approx(expected)
+
+
+def test_cutoff_raises(nmos):
+    params = nominal_350nm()
+    with pytest.raises(ValueError, match="does not conduct"):
+        nmos.saturation_current(params, vdd=params.vth_n)
+
+
+def test_nmos_stronger_than_pmos_at_equal_size(nmos, pmos):
+    params = nominal_350nm()
+    assert nmos.saturation_current(params) > pmos.saturation_current(params)
+
+
+def test_input_capacitance_scales_with_area():
+    params = nominal_350nm()
+    small = AlphaPowerMosfet(MosfetPolarity.NMOS, width_um=2.0)
+    large = AlphaPowerMosfet(MosfetPolarity.NMOS, width_um=8.0)
+    assert large.input_capacitance_ff(params) == pytest.approx(
+        4.0 * small.input_capacitance_ff(params)
+    )
+
+
+def test_plausible_current_magnitude(nmos):
+    # A 10/0.35 device at 3.3 V should drive on the order of milliamperes.
+    current = nmos.saturation_current(nominal_350nm(), DEFAULT_VDD)
+    assert 1e-4 < current < 1e-2

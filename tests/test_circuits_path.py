@@ -1,0 +1,66 @@
+"""Critical-path composition."""
+
+import pytest
+
+from repro.circuits.gates import inverter, nand2
+from repro.circuits.path import CriticalPath
+from repro.process.parameters import nominal_350nm
+
+
+def test_needs_at_least_one_gate():
+    with pytest.raises(ValueError):
+        CriticalPath(gates=[])
+
+
+def test_rejects_negative_output_load():
+    with pytest.raises(ValueError):
+        CriticalPath(gates=[inverter()], output_load_ff=-1.0)
+
+
+def test_inverter_chain_factory():
+    path = CriticalPath.inverter_chain(7, inverter, name="pcm")
+    assert len(path) == 7
+    assert path.name == "pcm"
+
+
+def test_inverter_chain_rejects_zero_stages():
+    with pytest.raises(ValueError):
+        CriticalPath.inverter_chain(0, inverter)
+
+
+def test_total_is_sum_of_stage_delays():
+    path = CriticalPath.inverter_chain(5, inverter)
+    params = nominal_350nm()
+    stages = path.stage_delays_ns(params)
+    assert len(stages) == 5
+    assert path.delay_ns(params) == pytest.approx(sum(stages))
+
+
+def test_delay_grows_with_stage_count():
+    params = nominal_350nm()
+    short = CriticalPath.inverter_chain(5, inverter).delay_ns(params)
+    long = CriticalPath.inverter_chain(15, inverter).delay_ns(params)
+    assert long > 2.0 * short
+
+
+def test_last_stage_drives_output_load():
+    params = nominal_350nm()
+    light = CriticalPath.inverter_chain(3, inverter, output_load_ff=0.0)
+    heavy = CriticalPath.inverter_chain(3, inverter, output_load_ff=100.0)
+    assert heavy.delay_ns(params) > light.delay_ns(params)
+    # Only the final stage differs.
+    assert heavy.stage_delays_ns(params)[:-1] == pytest.approx(
+        light.stage_delays_ns(params)[:-1]
+    )
+
+
+def test_heterogeneous_path():
+    path = CriticalPath(gates=[inverter(), nand2(), inverter()])
+    assert path.delay_ns(nominal_350nm()) > 0
+
+
+def test_faster_process_shortens_path():
+    path = CriticalPath.inverter_chain(9, inverter)
+    base = nominal_350nm()
+    fast = base.perturbed({"mobility_n": 0.08, "mobility_p": 0.08})
+    assert path.delay_ns(fast) < path.delay_ns(base)

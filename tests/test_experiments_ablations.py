@@ -1,0 +1,53 @@
+"""Ablation runners (small configurations)."""
+
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.experiments.ablations import (
+    ablate_kde,
+    ablate_kmm,
+    ablate_regression_mode,
+    format_rows,
+)
+from tests.conftest import small_detector_config
+
+
+@pytest.fixture(scope="module")
+def config():
+    return small_detector_config()
+
+
+def test_kde_ablation_rows(experiment_data, config):
+    rows = ablate_kde(
+        data=experiment_data,
+        alphas=(0.0, 0.5),
+        sample_sizes=(500,),
+        base_config=config,
+    )
+    assert len(rows) == 3
+    assert any("alpha=0.5" in row.label for row in rows)
+    assert all(row.n_trojan_free == 12 for row in rows)
+
+
+def test_kmm_ablation_includes_all_variants(experiment_data, config):
+    rows = ablate_kmm(data=experiment_data, base_config=config)
+    labels = [row.label for row in rows]
+    assert any("no shift" in label for label in labels)
+    assert any("mean shift" in label for label in labels)
+    assert any("KMM" in label for label in labels)
+
+
+def test_regression_mode_ablation(experiment_data, config):
+    rows = ablate_regression_mode(data=experiment_data, base_config=config)
+    assert len(rows) == 2
+    assert {row.label for row in rows} == {
+        "B5 with latent_gain regression",
+        "B5 with independent regression",
+    }
+
+
+def test_format_rows(experiment_data, config):
+    rows = ablate_regression_mode(data=experiment_data, base_config=config)
+    text = format_rows(rows, "A5: regression mode")
+    assert text.startswith("A5: regression mode")
+    assert "FP" in text and "FN" in text

@@ -1,0 +1,104 @@
+"""One-class SVM: ν-property, boundary behaviour, SMO convergence."""
+
+import numpy as np
+import pytest
+
+from repro.learn.ocsvm import OneClassSvm
+
+
+@pytest.fixture()
+def gaussian_cloud():
+    return np.random.default_rng(0).standard_normal((400, 2))
+
+
+class TestValidation:
+    def test_nu_range(self):
+        with pytest.raises(ValueError):
+            OneClassSvm(nu=0.0)
+        with pytest.raises(ValueError):
+            OneClassSvm(nu=1.5)
+
+    def test_gamma_positive(self):
+        with pytest.raises(ValueError):
+            OneClassSvm(gamma=-1.0)
+
+    def test_max_training_samples(self):
+        with pytest.raises(ValueError):
+            OneClassSvm(max_training_samples=1)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            OneClassSvm().decision_function(np.zeros((1, 2)))
+
+
+class TestNuProperty:
+    @pytest.mark.parametrize("nu", [0.05, 0.1, 0.25])
+    def test_training_outlier_fraction_close_to_nu(self, gaussian_cloud, nu):
+        svm = OneClassSvm(nu=nu, seed=0).fit(gaussian_cloud)
+        outlier_fraction = 1.0 - svm.training_inlier_fraction(gaussian_cloud)
+        assert outlier_fraction == pytest.approx(nu, abs=0.05)
+
+    def test_support_vector_fraction_at_least_nu(self, gaussian_cloud):
+        nu = 0.2
+        svm = OneClassSvm(nu=nu, seed=0).fit(gaussian_cloud)
+        sv_fraction = svm.support_vectors_.shape[0] / gaussian_cloud.shape[0]
+        assert sv_fraction >= nu - 0.02
+
+
+class TestBoundary:
+    def test_center_inside_far_point_outside(self, gaussian_cloud):
+        svm = OneClassSvm(nu=0.1, seed=0).fit(gaussian_cloud)
+        assert svm.predict_inside(np.array([[0.0, 0.0]]))[0]
+        assert not svm.predict_inside(np.array([[8.0, 8.0]]))[0]
+
+    def test_decision_function_decreases_outward(self, gaussian_cloud):
+        # Fixed gamma: the median-heuristic kernel is deliberately broad and
+        # can plateau inside the cloud, which is not what this test probes.
+        svm = OneClassSvm(nu=0.1, gamma=1.0, seed=0).fit(gaussian_cloud)
+        radii = np.array([[1.0, 0.0], [2.0, 0.0], [3.0, 0.0], [6.0, 0.0]])
+        scores = svm.decision_function(radii)
+        assert np.all(np.diff(scores) < 0)
+
+    def test_bimodal_data_excludes_the_gap(self):
+        rng = np.random.default_rng(0)
+        clusters = np.vstack([
+            rng.standard_normal((200, 2)) * 0.3 + [-3.0, 0.0],
+            rng.standard_normal((200, 2)) * 0.3 + [+3.0, 0.0],
+        ])
+        svm = OneClassSvm(nu=0.05, gamma=2.0, seed=0).fit(clusters)
+        assert svm.predict_inside(np.array([[-3.0, 0.0], [3.0, 0.0]])).all()
+        assert not svm.predict_inside(np.array([[0.0, 0.0]]))[0]
+
+    def test_explicit_gamma_is_used(self, gaussian_cloud):
+        svm = OneClassSvm(nu=0.1, gamma=2.5, seed=0).fit(gaussian_cloud)
+        assert svm.effective_gamma_ == 2.5
+
+
+class TestSolver:
+    def test_alpha_sums_to_one(self, gaussian_cloud):
+        svm = OneClassSvm(nu=0.1, seed=0).fit(gaussian_cloud)
+        assert svm.dual_coefs_.sum() == pytest.approx(1.0, abs=1e-8)
+
+    def test_alpha_within_box(self, gaussian_cloud):
+        nu = 0.1
+        svm = OneClassSvm(nu=nu, seed=0).fit(gaussian_cloud)
+        bound = 1.0 / (nu * gaussian_cloud.shape[0])
+        assert np.all(svm.dual_coefs_ >= 0)
+        assert np.all(svm.dual_coefs_ <= bound + 1e-12)
+
+    def test_subsampling_caps_support_set(self):
+        data = np.random.default_rng(0).standard_normal((3000, 2))
+        svm = OneClassSvm(nu=0.5, max_training_samples=200, seed=0).fit(data)
+        assert svm.support_vectors_.shape[0] <= 200
+
+    def test_subsampling_is_deterministic(self):
+        data = np.random.default_rng(0).standard_normal((1000, 2))
+        a = OneClassSvm(nu=0.1, max_training_samples=300, seed=7).fit(data)
+        b = OneClassSvm(nu=0.1, max_training_samples=300, seed=7).fit(data)
+        np.testing.assert_array_equal(a.support_vectors_, b.support_vectors_)
+        assert a.rho_ == b.rho_
+
+    def test_converges_quickly_on_small_data(self):
+        data = np.random.default_rng(0).standard_normal((50, 2))
+        svm = OneClassSvm(nu=0.2, seed=0).fit(data)
+        assert svm.n_iterations_ < 50_000

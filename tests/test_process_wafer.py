@@ -1,0 +1,38 @@
+"""Lot / wafer / die bookkeeping."""
+
+import pytest
+
+from repro.process.wafer import DieSite, Lot, Wafer
+
+
+def test_die_site_label():
+    assert DieSite(lot_id=0, wafer_id=2, x=3, y=1).label() == "L0.W2.(3,1)"
+
+
+def test_wafer_grid_size_and_sites():
+    wafer = Wafer.with_grid(lot_id=1, wafer_id=0, rows=3, cols=4)
+    assert len(wafer) == 12
+    assert {(s.x, s.y) for s in wafer.sites} == {(x, y) for y in range(3) for x in range(4)}
+
+
+def test_wafer_rejects_empty_grid():
+    with pytest.raises(ValueError):
+        Wafer.with_grid(0, 0, rows=0, cols=4)
+
+
+def test_lot_with_wafers():
+    lot = Lot.with_wafers(lot_id=5, n_wafers=2, rows=2, cols=2)
+    assert lot.size() == (2, 4)
+    sites = lot.sites()
+    assert len(sites) == 8
+    assert all(site.lot_id == 5 for site in sites)
+    assert {site.wafer_id for site in sites} == {0, 1}
+
+
+def test_lot_rejects_zero_wafers():
+    with pytest.raises(ValueError):
+        Lot.with_wafers(0, n_wafers=0, rows=2, cols=2)
+
+
+def test_empty_lot_size():
+    assert Lot(lot_id=0).size() == (0, 0)

@@ -1,0 +1,53 @@
+"""Waveform-level spectral analysis."""
+
+import pytest
+
+from repro.rf.pulse import GaussianMonocycle
+from repro.rf.spectrum import occupied_bandwidth_ghz, pulse_spectrum, spectral_peak_ghz
+
+
+@pytest.fixture()
+def pulse():
+    return GaussianMonocycle(amplitude=1.0, center_frequency_ghz=4.3)
+
+
+def test_spectrum_shapes(pulse):
+    freqs, spectrum = pulse_spectrum(pulse, n_samples=1024)
+    assert freqs.shape == spectrum.shape
+    assert freqs[0] == 0.0
+
+
+def test_validation(pulse):
+    with pytest.raises(ValueError):
+        pulse_spectrum(pulse, span_sigmas=0.0)
+    with pytest.raises(ValueError):
+        pulse_spectrum(pulse, n_samples=4)
+    with pytest.raises(ValueError):
+        occupied_bandwidth_ghz(pulse, fraction=1.0)
+
+
+def test_peak_at_center_frequency(pulse):
+    assert spectral_peak_ghz(pulse) == pytest.approx(4.3, rel=0.03)
+
+
+@pytest.mark.parametrize("freq", [2.0, 4.3, 7.0])
+def test_peak_tracks_center_frequency(freq):
+    pulse = GaussianMonocycle(amplitude=1.0, center_frequency_ghz=freq)
+    assert spectral_peak_ghz(pulse) == pytest.approx(freq, rel=0.03)
+
+
+def test_dc_component_is_zero(pulse):
+    freqs, spectrum = pulse_spectrum(pulse)
+    assert spectrum[0] == pytest.approx(0.0, abs=1e-6)  # monocycle has no DC
+
+
+def test_occupied_bandwidth_is_ultra_wide(pulse):
+    bandwidth = occupied_bandwidth_ghz(pulse, fraction=0.99)
+    # UWB definition: fractional bandwidth > 20 %; the monocycle far exceeds it.
+    assert bandwidth / 4.3 > 0.2
+
+
+def test_frequency_trojan_shifts_the_peak():
+    clean = GaussianMonocycle(amplitude=1.0, center_frequency_ghz=4.3)
+    detuned = GaussianMonocycle(amplitude=1.0, center_frequency_ghz=4.3 * 1.17)
+    assert spectral_peak_ghz(detuned) > spectral_peak_ghz(clean) * 1.1

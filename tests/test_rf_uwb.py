@@ -1,0 +1,93 @@
+"""UWB transmitter: process dependence, OOK emission, trojan hooks."""
+
+import numpy as np
+import pytest
+
+from repro.process.parameters import nominal_350nm
+from repro.rf.uwb import UwbTransmitter
+from repro.trojans.amplitude import AmplitudeModulationTrojan
+
+
+@pytest.fixture()
+def tx():
+    return UwbTransmitter(pa_params=nominal_350nm())
+
+
+def test_amplitude_and_frequency_plausible(tx):
+    assert 0.5 < tx.output_amplitude() < 3.2
+    assert 2.0 < tx.center_frequency_ghz() < 8.0
+
+
+def test_amplitude_responds_to_pa_process():
+    base = UwbTransmitter(pa_params=nominal_350nm())
+    strong = UwbTransmitter(pa_params=nominal_350nm().perturbed({"mobility_n": 0.1}))
+    assert strong.output_amplitude() > base.output_amplitude()
+
+
+def test_frequency_responds_to_shaper_process():
+    base = UwbTransmitter(pa_params=nominal_350nm())
+    slowed = UwbTransmitter(
+        pa_params=nominal_350nm(),
+        shaper_params=nominal_350nm().perturbed({"cpar": 0.2}),
+    )
+    assert slowed.center_frequency_ghz() < base.center_frequency_ghz()
+
+
+def test_shaper_defaults_to_pa_params():
+    params = nominal_350nm()
+    tx = UwbTransmitter(pa_params=params)
+    assert tx.shaper_params == params
+
+
+def test_amplitude_clips_below_rail():
+    very_fast = nominal_350nm().perturbed({"mobility_n": 3.0})
+    tx = UwbTransmitter(pa_params=very_fast)
+    assert tx.output_amplitude() <= 0.95 * tx.vdd
+
+
+def test_ook_emits_one_pulse_per_one_bit(tx):
+    bits = np.array([1, 0, 1, 1, 0, 0, 1])
+    train = tx.transmit(bits)
+    assert len(train) == 4
+    np.testing.assert_array_equal(train.bit_indices, [0, 2, 3, 6])
+
+
+def test_all_zero_block_is_silent(tx):
+    assert len(tx.transmit(np.zeros(16, dtype=int))) == 0
+
+
+def test_transmit_validates_bits(tx):
+    with pytest.raises(ValueError, match="only 0 and 1"):
+        tx.transmit(np.array([0, 2, 1]))
+    with pytest.raises(ValueError, match="1-D"):
+        tx.transmit(np.zeros((2, 8), dtype=int))
+
+
+def test_trojan_requires_key_bits(tx):
+    with pytest.raises(ValueError, match="key_bits"):
+        tx.transmit(np.ones(8, dtype=int), trojan=AmplitudeModulationTrojan())
+
+
+def test_trojan_requires_matching_key_length(tx):
+    with pytest.raises(ValueError, match="shape"):
+        tx.transmit(
+            np.ones(8, dtype=int),
+            trojan=AmplitudeModulationTrojan(),
+            key_bits=np.ones(4, dtype=int),
+        )
+
+
+def test_trojan_modulates_key_zero_pulses(tx):
+    bits = np.ones(8, dtype=int)
+    key = np.array([1, 0, 1, 0, 1, 0, 1, 0])
+    clean = tx.transmit(bits)
+    dirty = tx.transmit(bits, trojan=AmplitudeModulationTrojan(depth=0.1), key_bits=key)
+    ratio = dirty.amplitudes / clean.amplitudes
+    np.testing.assert_allclose(ratio[key == 1], 1.0)
+    np.testing.assert_allclose(ratio[key == 0], 1.1)
+
+
+def test_clean_transmission_is_uniform(tx):
+    train = tx.transmit(np.ones(16, dtype=int))
+    assert np.ptp(train.amplitudes) == 0.0
+    assert np.ptp(train.center_frequencies_ghz) == 0.0

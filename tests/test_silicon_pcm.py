@@ -1,0 +1,110 @@
+"""PCM structures: path delay, ring oscillator, suites."""
+
+import pytest
+
+from repro.process.parameters import nominal_350nm
+from repro.silicon.pcm import PCMSuite, PathDelayPCM, RingOscillatorPCM
+
+
+class TestPathDelayPCM:
+    def test_rejects_zero_stages(self):
+        with pytest.raises(ValueError):
+            PathDelayPCM(stage_count=0)
+
+    def test_measure_positive_and_deterministic(self):
+        pcm = PathDelayPCM()
+        params = nominal_350nm()
+        assert pcm.measure(params) > 0
+        assert pcm.measure(params) == pcm.measure(params)
+
+    def test_delay_scales_with_stage_count(self):
+        params = nominal_350nm()
+        short = PathDelayPCM(stage_count=11).measure(params)
+        long = PathDelayPCM(stage_count=33).measure(params)
+        assert long > 2.5 * short
+
+    def test_tracks_process_speed(self):
+        pcm = PathDelayPCM()
+        base = nominal_350nm()
+        fast = base.perturbed({"vth_n": -0.02, "vth_p": -0.02})
+        assert pcm.measure(fast) < pcm.measure(base)
+
+
+class TestRingOscillatorPCM:
+    def test_rejects_even_or_tiny_stage_counts(self):
+        with pytest.raises(ValueError):
+            RingOscillatorPCM(stage_count=10)
+        with pytest.raises(ValueError):
+            RingOscillatorPCM(stage_count=1)
+
+    def test_frequency_plausible(self):
+        freq = RingOscillatorPCM().measure(nominal_350nm())
+        assert 10.0 < freq < 2000.0  # MHz
+
+    def test_frequency_decreases_with_more_stages(self):
+        params = nominal_350nm()
+        assert RingOscillatorPCM(stage_count=101).measure(params) < RingOscillatorPCM(
+            stage_count=51
+        ).measure(params)
+
+    def test_frequency_increases_on_fast_silicon(self):
+        ring = RingOscillatorPCM()
+        base = nominal_350nm()
+        fast = base.perturbed({"mobility_n": 0.08, "mobility_p": 0.08})
+        assert ring.measure(fast) > ring.measure(base)
+
+
+class TestPCMSuite:
+    def test_rejects_empty_suite(self):
+        with pytest.raises(ValueError):
+            PCMSuite(monitors=[])
+
+    def test_paper_default_is_single_path_delay(self):
+        suite = PCMSuite.paper_default()
+        assert len(suite) == 1
+        assert suite.names == ["path_delay_ns"]
+
+    def test_extended_suite(self):
+        suite = PCMSuite.extended()
+        assert len(suite) == 2
+        assert suite.names == ["path_delay_ns", "ring_osc_mhz"]
+
+    def test_measure_returns_all_monitors(self):
+        readings = PCMSuite.extended().measure(nominal_350nm())
+        assert len(readings) == 2
+        assert all(r > 0 for r in readings)
+
+
+class TestDigitalFmaxPCM:
+    def test_validation(self):
+        from repro.silicon.pcm import DigitalFmaxPCM
+        import pytest
+        with pytest.raises(ValueError):
+            DigitalFmaxPCM(rounds_of=0)
+        with pytest.raises(ValueError):
+            DigitalFmaxPCM(setup_overhead_ns=-1.0)
+
+    def test_fmax_plausible(self):
+        from repro.silicon.pcm import DigitalFmaxPCM
+        fmax = DigitalFmaxPCM().measure(nominal_350nm())
+        assert 20.0 < fmax < 1000.0  # MHz, 350nm-era digital block
+
+    def test_fmax_tracks_process_speed(self):
+        from repro.silicon.pcm import DigitalFmaxPCM
+        pcm = DigitalFmaxPCM()
+        base = nominal_350nm()
+        fast = base.perturbed({"mobility_n": 0.08, "mobility_p": 0.08})
+        assert pcm.measure(fast) > pcm.measure(base)
+
+    def test_more_rounds_lower_fmax(self):
+        from repro.silicon.pcm import DigitalFmaxPCM
+        params = nominal_350nm()
+        assert DigitalFmaxPCM(rounds_of=8).measure(params) < DigitalFmaxPCM(
+            rounds_of=2
+        ).measure(params)
+
+    def test_full_suite_has_three_monitors(self):
+        suite = PCMSuite.full()
+        assert suite.names == ["path_delay_ns", "ring_osc_mhz", "digital_fmax_mhz"]
+        readings = suite.measure(nominal_350nm())
+        assert len(readings) == 3

@@ -1,0 +1,91 @@
+"""Kernel functions and the median heuristic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.stats.kernels import (
+    linear_kernel,
+    median_heuristic_gamma,
+    polynomial_kernel,
+    rbf_kernel,
+)
+
+finite_matrix = arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(2, 8), st.integers(1, 4)),
+    elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+)
+
+
+class TestRbf:
+    def test_diagonal_is_one(self):
+        x = np.random.default_rng(0).standard_normal((6, 3))
+        np.testing.assert_allclose(np.diag(rbf_kernel(x, gamma=0.7)), 1.0)
+
+    def test_symmetry(self):
+        x = np.random.default_rng(0).standard_normal((6, 3))
+        k = rbf_kernel(x, gamma=0.7)
+        np.testing.assert_allclose(k, k.T)
+
+    def test_known_value(self):
+        x = np.array([[0.0], [1.0]])
+        k = rbf_kernel(x, gamma=2.0)
+        assert k[0, 1] == pytest.approx(np.exp(-2.0))
+
+    def test_rectangular(self):
+        x = np.zeros((3, 2))
+        y = np.ones((5, 2))
+        assert rbf_kernel(x, y, gamma=1.0).shape == (3, 5)
+
+    def test_rejects_nonpositive_gamma(self):
+        with pytest.raises(ValueError):
+            rbf_kernel(np.zeros((2, 2)), gamma=0.0)
+
+    @settings(max_examples=25)
+    @given(finite_matrix)
+    def test_values_in_unit_interval(self, x):
+        k = rbf_kernel(x, gamma=0.5)
+        assert np.all(k > 0) and np.all(k <= 1.0 + 1e-12)
+
+    @settings(max_examples=15)
+    @given(finite_matrix)
+    def test_positive_semidefinite(self, x):
+        k = rbf_kernel(x, gamma=0.5)
+        eigvals = np.linalg.eigvalsh(k)
+        assert eigvals.min() > -1e-8
+
+
+class TestOtherKernels:
+    def test_linear_matches_dot(self):
+        x = np.random.default_rng(0).standard_normal((4, 3))
+        np.testing.assert_allclose(linear_kernel(x), x @ x.T)
+
+    def test_polynomial_degree_one_is_affine_linear(self):
+        x = np.random.default_rng(0).standard_normal((4, 3))
+        np.testing.assert_allclose(
+            polynomial_kernel(x, degree=1, coef0=0.0, gamma=1.0), x @ x.T
+        )
+
+    def test_polynomial_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            polynomial_kernel(np.zeros((2, 2)), degree=0)
+
+
+class TestMedianHeuristic:
+    def test_matches_manual_median(self):
+        x = np.array([[0.0], [1.0], [3.0]])
+        # pairwise squared distances: 1, 9, 4 -> median 4.
+        assert median_heuristic_gamma(x) == pytest.approx(1.0 / 8.0)
+
+    def test_degenerate_data_returns_one(self):
+        assert median_heuristic_gamma(np.zeros((5, 2))) == 1.0
+        assert median_heuristic_gamma(np.zeros((1, 2))) == 1.0
+
+    def test_subsampling_is_close_to_full(self):
+        x = np.random.default_rng(0).standard_normal((3000, 2))
+        full = median_heuristic_gamma(x, max_samples=3000)
+        sub = median_heuristic_gamma(x, max_samples=500, rng=np.random.default_rng(1))
+        assert sub == pytest.approx(full, rel=0.2)

@@ -1,0 +1,97 @@
+"""Kernel mean matching and importance resampling."""
+
+import numpy as np
+import pytest
+
+from repro.stats.kmm import KernelMeanMatcher, importance_resample
+
+
+@pytest.fixture()
+def shifted_data():
+    rng = np.random.default_rng(0)
+    train = rng.standard_normal((200, 1))
+    test = 0.8 + 0.5 * rng.standard_normal((80, 1))
+    return train, test
+
+
+class TestKmm:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            KernelMeanMatcher(B=0.0)
+        with pytest.raises(ValueError):
+            KernelMeanMatcher(eps=-0.1)
+
+    def test_weights_respect_bounds(self, shifted_data):
+        train, test = shifted_data
+        matcher = KernelMeanMatcher(B=5.0).fit(train, test)
+        assert np.all(matcher.weights >= 0.0)
+        assert np.all(matcher.weights <= 5.0 + 1e-9)
+
+    def test_mean_constraint_respected(self, shifted_data):
+        train, test = shifted_data
+        matcher = KernelMeanMatcher(B=10.0, eps=0.3).fit(train, test)
+        assert abs(matcher.weights.mean() - 1.0) <= 0.3 + 1e-6
+
+    def test_weighted_mean_moves_toward_test(self, shifted_data):
+        train, test = shifted_data
+        matcher = KernelMeanMatcher(B=10.0).fit(train, test)
+        w = matcher.weights
+        weighted_mean = float((w[:, None] * train).sum() / w.sum())
+        assert abs(weighted_mean - test.mean()) < abs(train.mean() - test.mean())
+
+    def test_identical_distributions_keep_higher_ess_than_shifted(self):
+        rng = np.random.default_rng(1)
+        train = rng.standard_normal((150, 2))
+        same = rng.standard_normal((150, 2))
+        shifted = rng.standard_normal((150, 2)) + 2.0
+        ess_same = KernelMeanMatcher(B=10.0).fit(train, same).effective_sample_size()
+        ess_shifted = KernelMeanMatcher(B=10.0).fit(train, shifted).effective_sample_size()
+        assert ess_same > 20
+        assert ess_same > ess_shifted
+
+    def test_feature_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="share features"):
+            KernelMeanMatcher().fit(np.zeros((5, 2)), np.zeros((5, 3)))
+
+    def test_weights_before_fit_raise(self):
+        with pytest.raises(RuntimeError):
+            _ = KernelMeanMatcher().weights
+
+    def test_effective_gamma_recorded(self, shifted_data):
+        train, test = shifted_data
+        matcher = KernelMeanMatcher(gamma=0.7).fit(train, test)
+        assert matcher.effective_gamma_ == 0.7
+
+
+class TestImportanceResample:
+    def test_shape_and_membership(self, shifted_data):
+        train, _ = shifted_data
+        weights = np.ones(train.shape[0])
+        out = importance_resample(train, weights, size=50, rng=0)
+        assert out.shape == (50, 1)
+        assert set(out[:, 0]).issubset(set(train[:, 0]))
+
+    def test_zero_weight_samples_never_drawn(self):
+        samples = np.arange(10, dtype=float)[:, None]
+        weights = np.zeros(10)
+        weights[3] = 1.0
+        out = importance_resample(samples, weights, size=20, rng=0)
+        assert np.all(out == 3.0)
+
+    def test_validation(self):
+        samples = np.zeros((5, 1))
+        with pytest.raises(ValueError):
+            importance_resample(samples, np.ones(4), size=5)
+        with pytest.raises(ValueError):
+            importance_resample(samples, -np.ones(5), size=5)
+        with pytest.raises(ValueError):
+            importance_resample(samples, np.zeros(5), size=5)
+        with pytest.raises(ValueError):
+            importance_resample(samples, np.ones(5), size=0)
+
+    def test_deterministic_given_seed(self, shifted_data):
+        train, test = shifted_data
+        w = KernelMeanMatcher().fit(train, test).weights
+        a = importance_resample(train, w, size=30, rng=9)
+        b = importance_resample(train, w, size=30, rng=9)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,79 @@
+"""Principal component analysis."""
+
+import numpy as np
+import pytest
+
+from repro.stats.pca import PrincipalComponentAnalysis
+
+
+@pytest.fixture()
+def anisotropic_data():
+    rng = np.random.default_rng(0)
+    base = rng.standard_normal((500, 3))
+    return base * np.array([5.0, 1.0, 0.2])
+
+
+def test_n_components_validation():
+    with pytest.raises(ValueError):
+        PrincipalComponentAnalysis(n_components=0)
+
+
+def test_explained_variance_sorted_and_normalized(anisotropic_data):
+    pca = PrincipalComponentAnalysis().fit(anisotropic_data)
+    ratios = pca.explained_variance_ratio_
+    assert np.all(np.diff(ratios) <= 0)
+    assert ratios.sum() == pytest.approx(1.0)
+
+
+def test_dominant_direction_found(anisotropic_data):
+    pca = PrincipalComponentAnalysis(n_components=1).fit(anisotropic_data)
+    direction = np.abs(pca.components_[0])
+    assert direction[0] > 0.99
+
+
+def test_components_orthonormal(anisotropic_data):
+    pca = PrincipalComponentAnalysis(n_components=3).fit(anisotropic_data)
+    gram = pca.components_ @ pca.components_.T
+    np.testing.assert_allclose(gram, np.eye(3), atol=1e-10)
+
+
+def test_transform_decorrelates(anisotropic_data):
+    pca = PrincipalComponentAnalysis(n_components=3).fit(anisotropic_data)
+    scores = pca.transform(anisotropic_data)
+    cov = np.cov(scores.T)
+    off_diag = cov - np.diag(np.diag(cov))
+    assert np.abs(off_diag).max() < 0.05
+
+
+def test_full_rank_reconstruction(anisotropic_data):
+    pca = PrincipalComponentAnalysis().fit(anisotropic_data)
+    scores = pca.transform(anisotropic_data)
+    np.testing.assert_allclose(pca.inverse_transform(scores), anisotropic_data, atol=1e-8)
+
+
+def test_truncated_reconstruction_error_is_small_for_dominant_axes(anisotropic_data):
+    pca = PrincipalComponentAnalysis(n_components=2).fit(anisotropic_data)
+    recon = pca.inverse_transform(pca.transform(anisotropic_data))
+    err = np.sqrt(np.mean((recon - anisotropic_data) ** 2))
+    assert err < 0.3  # only the sigma=0.2 axis is lost
+
+
+def test_n_components_capped_by_data(anisotropic_data):
+    pca = PrincipalComponentAnalysis(n_components=10).fit(anisotropic_data)
+    assert pca.components_.shape == (3, 3)
+
+
+def test_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        PrincipalComponentAnalysis().transform(np.zeros((2, 2)))
+
+
+def test_feature_mismatch_rejected(anisotropic_data):
+    pca = PrincipalComponentAnalysis().fit(anisotropic_data)
+    with pytest.raises(ValueError):
+        pca.transform(np.zeros((2, 5)))
+
+
+def test_constant_data_zero_ratios():
+    pca = PrincipalComponentAnalysis().fit(np.full((10, 2), 3.0))
+    np.testing.assert_allclose(pca.explained_variance_ratio_, 0.0)

@@ -1,0 +1,82 @@
+"""Quadratic-programming front-end."""
+
+import numpy as np
+import pytest
+
+from repro.stats.qp import solve_qp
+
+
+def test_unconstrained_quadratic():
+    # min 0.5 x'Ix + q'x -> x = -q
+    result = solve_qp(P=np.eye(2), q=np.array([1.0, -2.0]))
+    np.testing.assert_allclose(result.x, [-1.0, 2.0], atol=1e-6)
+    assert result.converged
+
+
+def test_box_constraint_binds():
+    result = solve_qp(P=np.eye(1), q=np.array([-5.0]), lb=0.0, ub=2.0)
+    assert result.x[0] == pytest.approx(2.0, abs=1e-8)
+
+
+def test_equality_constraint():
+    # min 0.5(x^2 + y^2) s.t. x + y = 1 -> x = y = 0.5
+    result = solve_qp(
+        P=np.eye(2),
+        q=np.zeros(2),
+        A_eq=np.array([[1.0, 1.0]]),
+        b_eq=np.array([1.0]),
+    )
+    np.testing.assert_allclose(result.x, [0.5, 0.5], atol=1e-6)
+
+
+def test_inequality_constraint():
+    # min 0.5||x||^2 s.t. x0 >= 1  (written as -x0 <= -1)
+    result = solve_qp(
+        P=np.eye(2),
+        q=np.zeros(2),
+        G=np.array([[-1.0, 0.0]]),
+        h=np.array([-1.0]),
+    )
+    np.testing.assert_allclose(result.x, [1.0, 0.0], atol=1e-6)
+
+
+def test_kkt_at_interior_solution():
+    rng = np.random.default_rng(0)
+    m = rng.standard_normal((4, 4))
+    P = m @ m.T + 0.5 * np.eye(4)
+    q = rng.standard_normal(4)
+    result = solve_qp(P=P, q=q, lb=-10.0, ub=10.0)
+    gradient = P @ result.x + q
+    assert np.linalg.norm(gradient) < 1e-5
+
+
+def test_objective_value_reported():
+    result = solve_qp(P=np.eye(1), q=np.array([0.0]), lb=1.0, ub=2.0)
+    assert result.objective == pytest.approx(0.5, abs=1e-8)
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        solve_qp(P=np.eye(3), q=np.zeros(2))
+    with pytest.raises(ValueError):
+        solve_qp(P=np.eye(2), q=np.zeros(2), A_eq=np.ones((1, 3)), b_eq=np.ones(1))
+    with pytest.raises(ValueError):
+        solve_qp(P=np.eye(2), q=np.zeros(2), G=np.ones((1, 3)), h=np.ones(1))
+
+
+def test_infeasible_bounds_rejected():
+    with pytest.raises(ValueError):
+        solve_qp(P=np.eye(1), q=np.zeros(1), lb=2.0, ub=1.0)
+
+
+def test_warm_start_respects_bounds():
+    result = solve_qp(P=np.eye(1), q=np.zeros(1), lb=0.0, ub=1.0, x0=np.array([5.0]))
+    assert 0.0 <= result.x[0] <= 1.0
+
+
+def test_asymmetric_p_is_symmetrized():
+    P = np.array([[2.0, 0.5], [0.0, 2.0]])  # asymmetric on purpose
+    result = solve_qp(P=P, q=np.array([-1.0, -1.0]))
+    sym = 0.5 * (P + P.T)
+    expected = np.linalg.solve(sym, [1.0, 1.0])
+    np.testing.assert_allclose(result.x, expected, atol=1e-6)

@@ -1,0 +1,125 @@
+"""Hardware Trojan models and attacker-side key recovery."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.bits import bytes_to_bits, random_key
+from repro.process.parameters import nominal_350nm
+from repro.rf.uwb import UwbTransmitter
+from repro.testbed.chip import WirelessCryptoChip
+from repro.trojans.amplitude import AmplitudeModulationTrojan
+from repro.trojans.attacker import KeyRecoveryAttacker
+from repro.trojans.frequency import FrequencyModulationTrojan
+
+
+class _StubDie:
+    """Minimal die object for chip-level tests."""
+
+    def structure_params(self, structure):
+        return nominal_350nm()
+
+    def label(self):
+        return "stub"
+
+
+@pytest.fixture()
+def emitted():
+    n = 16
+    return dict(
+        bit_indices=np.arange(n),
+        leaked_bits=np.tile([1, 0], n // 2),
+        amplitudes=np.full(n, 2.0),
+        center_frequencies_ghz=np.full(n, 4.3),
+    )
+
+
+class TestTrojanModels:
+    def test_depth_validation(self):
+        for cls in (AmplitudeModulationTrojan, FrequencyModulationTrojan):
+            with pytest.raises(ValueError):
+                cls(depth=0.0)
+            with pytest.raises(ValueError):
+                cls(depth=0.6)
+
+    def test_amplitude_trojan_touches_only_amplitude(self, emitted):
+        amp, freq = AmplitudeModulationTrojan(depth=0.1).modulate(**emitted)
+        np.testing.assert_allclose(freq, emitted["center_frequencies_ghz"])
+        mask = emitted["leaked_bits"] == 0
+        np.testing.assert_allclose(amp[mask], 2.2)
+        np.testing.assert_allclose(amp[~mask], 2.0)
+
+    def test_frequency_trojan_touches_only_frequency(self, emitted):
+        amp, freq = FrequencyModulationTrojan(depth=0.1).modulate(**emitted)
+        np.testing.assert_allclose(amp, emitted["amplitudes"])
+        mask = emitted["leaked_bits"] == 0
+        np.testing.assert_allclose(freq[mask], 4.3 * 1.1)
+        np.testing.assert_allclose(freq[~mask], 4.3)
+
+    def test_modulate_does_not_mutate_inputs(self, emitted):
+        before = emitted["amplitudes"].copy()
+        AmplitudeModulationTrojan(depth=0.1).modulate(**emitted)
+        np.testing.assert_array_equal(emitted["amplitudes"], before)
+
+    def test_validate_rejects_length_mismatch(self, emitted):
+        bad = dict(emitted)
+        bad["leaked_bits"] = bad["leaked_bits"][:-1]
+        with pytest.raises(ValueError, match="length"):
+            AmplitudeModulationTrojan().modulate(**bad)
+
+    def test_validate_rejects_non_binary_leak(self, emitted):
+        bad = dict(emitted)
+        bad["leaked_bits"] = np.full(len(bad["bit_indices"]), 2)
+        with pytest.raises(ValueError, match="0 and 1"):
+            FrequencyModulationTrojan().modulate(**bad)
+
+    def test_repr_shows_depth(self):
+        assert "0.08" in repr(AmplitudeModulationTrojan(depth=0.08))
+        assert "0.05" in repr(FrequencyModulationTrojan(depth=0.05))
+
+
+class TestKeyRecovery:
+    def _intercept(self, trojan, key, n_blocks=60, mode="amplitude", rng_seed=0):
+        chip = WirelessCryptoChip(die=_StubDie(), key=key, trojan=trojan)
+        rng = np.random.default_rng(rng_seed)
+        attacker = KeyRecoveryAttacker(mode=mode)
+        for _ in range(n_blocks):
+            plaintext = rng.integers(0, 256, 16, dtype=np.uint8).tobytes()
+            attacker.observe(chip.transmit_plaintext(plaintext))
+        return attacker
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            KeyRecoveryAttacker(mode="phase")
+
+    def test_recovers_key_from_amplitude_trojan(self):
+        key = random_key(rng=1)
+        attacker = self._intercept(AmplitudeModulationTrojan(depth=0.05), key)
+        assert attacker.coverage() == 1.0
+        recovered = attacker.recover_key_bits()
+        np.testing.assert_array_equal(recovered, bytes_to_bits(key))
+
+    def test_recovers_key_from_frequency_trojan(self):
+        key = random_key(rng=2)
+        attacker = self._intercept(
+            FrequencyModulationTrojan(depth=0.05), key, mode="frequency"
+        )
+        np.testing.assert_array_equal(attacker.recover_key_bits(), bytes_to_bits(key))
+
+    def test_returns_none_with_partial_coverage(self):
+        attacker = KeyRecoveryAttacker()
+        # One observed block cannot cover all 128 positions.
+        chip = WirelessCryptoChip(die=_StubDie(), key=random_key(rng=3),
+                                  trojan=AmplitudeModulationTrojan())
+        attacker.observe(chip.transmit_plaintext(b"\x01" * 16))
+        assert attacker.coverage() < 1.0
+        assert attacker.recover_key_bits() is None
+
+    def test_trojan_free_device_shows_no_leak_margin(self):
+        key = random_key(rng=4)
+        attacker = self._intercept(None, key)
+        assert attacker.leak_margin() < 1e-6
+
+    def test_infested_device_shows_leak_margin(self):
+        key = random_key(rng=5)
+        attacker = self._intercept(AmplitudeModulationTrojan(depth=0.05), key)
+        assert attacker.leak_margin() == pytest.approx(0.05, rel=0.2)

@@ -1,0 +1,88 @@
+"""RNG plumbing and argument-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_children
+from repro.utils.validation import (
+    check_1d,
+    check_2d,
+    check_in_range,
+    check_matching_rows,
+    check_positive,
+    check_probability,
+)
+
+
+class TestRng:
+    def test_as_generator_from_int_is_deterministic(self):
+        assert as_generator(3).integers(0, 100) == as_generator(3).integers(0, 100)
+
+    def test_as_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_as_generator_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_spawn_children_are_independent_and_deterministic(self):
+        a1, b1 = spawn_children(9, 2)
+        a2, b2 = spawn_children(9, 2)
+        assert a1.integers(0, 1 << 30) == a2.integers(0, 1 << 30)
+        assert b1.integers(0, 1 << 30) == b2.integers(0, 1 << 30)
+        # Distinct children produce distinct streams.
+        c1, c2 = spawn_children(10, 2)
+        assert c1.integers(0, 1 << 30) != c2.integers(0, 1 << 30)
+
+    def test_spawn_children_from_generator(self):
+        children = spawn_children(np.random.default_rng(0), 3)
+        assert len(children) == 3
+
+    def test_spawn_children_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_children(0, -1)
+
+
+class TestValidation:
+    def test_check_2d_accepts_lists(self):
+        out = check_2d([[1, 2], [3, 4]], "x")
+        assert out.shape == (2, 2)
+        assert out.dtype == float
+
+    def test_check_2d_rejects_1d_and_empty(self):
+        with pytest.raises(ValueError, match="must be 2-D"):
+            check_2d([1, 2, 3], "x")
+        with pytest.raises(ValueError, match="at least one sample"):
+            check_2d(np.empty((0, 3)), "x")
+
+    def test_check_2d_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_2d([[1.0, np.nan]], "x")
+
+    def test_check_1d(self):
+        assert check_1d([1, 2], "v").shape == (2,)
+        with pytest.raises(ValueError):
+            check_1d([[1, 2]], "v")
+
+    def test_check_positive(self):
+        assert check_positive(0.5, "p") == 0.5
+        with pytest.raises(ValueError):
+            check_positive(0.0, "p")
+
+    def test_check_probability(self):
+        assert check_probability(1.0, "nu") == 1.0
+        with pytest.raises(ValueError):
+            check_probability(0.0, "nu")
+        with pytest.raises(ValueError):
+            check_probability(1.5, "nu")
+
+    def test_check_in_range(self):
+        assert check_in_range(0.5, 0, 1, "a") == 0.5
+        with pytest.raises(ValueError):
+            check_in_range(2.0, 0, 1, "a")
+
+    def test_check_matching_rows(self):
+        a = np.zeros((3, 2))
+        check_matching_rows(a, np.zeros((3, 5)), "a", "b")
+        with pytest.raises(ValueError):
+            check_matching_rows(a, np.zeros((4, 2)), "a", "b")
