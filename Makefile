@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-baseline table1
+
+test:
+	$(PYTHON) -m pytest -q
+
+# Regression gate: fail when any component is >20% slower than the
+# committed baseline (benchmarks/BENCH_components.json).
+bench:
+	$(PYTHON) benchmarks/bench_report.py --compare benchmarks/BENCH_components.json
+
+# Regenerate the committed baseline (run on the reference machine only).
+bench-baseline:
+	$(PYTHON) benchmarks/bench_report.py --output benchmarks/BENCH_components.json
+
+table1:
+	$(PYTHON) -m repro.cli table1

@@ -1,0 +1,17 @@
+#!/usr/bin/env python
+"""Standalone benchmark report + regression gate (see repro.benchreport).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_report.py --output benchmarks/BENCH_components.json
+    PYTHONPATH=src python benchmarks/bench_report.py --compare benchmarks/BENCH_components.json
+
+or ``make bench`` for the compare form.
+"""
+
+import sys
+
+from repro.benchreport import main
+
+if __name__ == "__main__":
+    sys.exit(main())

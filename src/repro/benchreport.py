@@ -1,0 +1,178 @@
+"""Benchmark-regression harness: component timings with a committed baseline.
+
+``python benchmarks/bench_report.py`` (or the ``repro-bench`` console script)
+times the pipeline's performance-critical components at the sizes the Table-1
+run uses and writes them to a JSON report:
+
+* ``kde_density`` — adaptive Epanechnikov KDE fit + density evaluation;
+* ``kde_sample`` — drawing 10^5 tail-enhanced samples;
+* ``ocsvm_fit`` — one-class SVM fit on a 1500-point population;
+* ``mars_fit`` — the PCM -> fingerprint regressions;
+* ``kmm_weights`` — kernel mean matching (100 train x 120 test);
+* ``mc_run`` — the 100-device Monte Carlo simulation;
+* ``table1`` — the end-to-end three-stage pipeline on pre-generated data.
+
+``--compare BASELINE.json`` exits non-zero when any component is more than
+``--threshold`` (default 20 %) slower than the committed baseline.  Timings
+are machine-dependent: regenerate the baseline (``--output``) when moving to
+different hardware, and treat cross-machine comparisons as indicative only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+SCHEMA_VERSION = 1
+
+#: Per-component (repeats, warmup) overrides; default is (5, 1).
+_TIMING_PLAN = {
+    "mc_run": (3, 1),
+    "table1": (3, 1),
+}
+
+
+def time_case(fn: Callable[[], object], repeats: int = 5, warmup: int = 1) -> float:
+    """Best-of-``repeats`` wall time of ``fn`` in seconds.
+
+    The minimum over repeats is the standard noise-robust point estimate for
+    a deterministic workload: every source of interference only ever adds
+    time.
+    """
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def build_cases(n_jobs: int = 1) -> Dict[str, Callable[[], object]]:
+    """The component workloads, keyed by report name (insertion-ordered)."""
+    from repro.circuits.montecarlo import MonteCarloEngine
+    from repro.circuits.spicemodel import default_spice_deck
+    from repro.core.config import DetectorConfig
+    from repro.core.datasets import train_regressions
+    from repro.experiments.platformcfg import PlatformConfig, generate_experiment_data
+    from repro.experiments.table1 import run_table1
+    from repro.learn.ocsvm import OneClassSvm
+    from repro.stats.kde import AdaptiveKde
+    from repro.stats.kmm import KernelMeanMatcher
+    from repro.testbed.campaign import FingerprintCampaign
+
+    data = generate_experiment_data(PlatformConfig())
+    rng = np.random.default_rng(0)
+    kde_train = rng.standard_normal((1500, 6))
+    kde_eval = rng.standard_normal((2000, 6))
+    svm_train = np.random.default_rng(0).standard_normal((1500, 6))
+    bench_detector = DetectorConfig(kde_samples=30_000, n_jobs=n_jobs)
+    sample_kde = AdaptiveKde(alpha=0.5).fit(data.sim_fingerprints)
+    deck = default_spice_deck()
+    sim_campaign = FingerprintCampaign.random_stimuli(nm=6, seed=0, noisy_bench=False)
+    engine = MonteCarloEngine(deck, sim_campaign, numerical_noise=0.0015)
+
+    return {
+        "kde_density": lambda: AdaptiveKde(alpha=0.5).fit(kde_train).density(kde_eval),
+        "kde_sample": lambda: sample_kde.sample(100_000, rng=0),
+        "ocsvm_fit": lambda: OneClassSvm(nu=0.08, seed=0).fit(svm_train),
+        "mars_fit": lambda: train_regressions(
+            data.sim_pcms, data.sim_fingerprints, bench_detector
+        ),
+        "kmm_weights": lambda: KernelMeanMatcher(B=10.0).fit(
+            data.sim_pcms, data.dutt_pcms
+        ),
+        "mc_run": lambda: engine.run(100, seed=0, n_jobs=n_jobs),
+        "table1": lambda: run_table1(detector_config=bench_detector, data=data),
+    }
+
+
+def run_report(n_jobs: int = 1, verbose: bool = True) -> dict:
+    """Time every component and return the report dictionary."""
+    results: Dict[str, float] = {}
+    for name, fn in build_cases(n_jobs=n_jobs).items():
+        repeats, warmup = _TIMING_PLAN.get(name, (5, 1))
+        results[name] = time_case(fn, repeats=repeats, warmup=warmup)
+        if verbose:
+            print(f"{name:>12}: {results[name] * 1e3:9.2f} ms")
+    return {"schema": SCHEMA_VERSION, "units": "seconds", "n_jobs": n_jobs,
+            "results": results}
+
+
+def compare_reports(current: dict, baseline: dict, threshold: float = 0.20) -> List[str]:
+    """Regression messages for components slower than ``baseline`` by > threshold.
+
+    Components present in only one report are ignored (they have no
+    reference); a missing overlap entirely is itself an error.
+    """
+    cur = current.get("results", {})
+    base = baseline.get("results", {})
+    shared = [name for name in base if name in cur]
+    if not shared:
+        return ["no shared components between report and baseline"]
+    failures = []
+    for name in shared:
+        if base[name] <= 0:
+            continue
+        ratio = cur[name] / base[name]
+        if ratio > 1.0 + threshold:
+            failures.append(
+                f"{name}: {cur[name] * 1e3:.2f} ms vs baseline "
+                f"{base[name] * 1e3:.2f} ms ({ratio:.2f}x, limit "
+                f"{1.0 + threshold:.2f}x)"
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point for the benchmark report / regression gate."""
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument(
+        "--output", type=str, default=None,
+        help="write the timing report to this JSON file",
+    )
+    parser.add_argument(
+        "--compare", type=str, default=None,
+        help="baseline JSON to compare against; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="allowed slowdown vs baseline (0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the parallel-capable components",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_report(n_jobs=args.jobs)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        failures = compare_reports(report, baseline, threshold=args.threshold)
+        if failures:
+            print("\nbenchmark regressions:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"\nno regressions vs {args.compare} "
+              f"(threshold {args.threshold * 100:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

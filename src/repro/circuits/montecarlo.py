@@ -9,6 +9,7 @@ discrepancy comes from the deck nominal, not the bench.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -16,7 +17,8 @@ import numpy as np
 
 from repro.circuits.spicemodel import SpiceDeck
 from repro.process.parameters import ProcessParameters
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.parallel import parallel_map
+from repro.utils.rng import SeedLike, as_generator, spawn_seed_sequences, structure_entropy
 
 
 @dataclass
@@ -37,8 +39,7 @@ class SimulatedDie:
     def structure_params(self, structure: str) -> ProcessParameters:
         """Local (mismatch) parameters of the named structure, deterministic."""
         if structure not in self._structure_cache:
-            name_key = np.frombuffer(structure.encode("utf-8"), dtype=np.uint8)
-            seq = np.random.SeedSequence([self.mismatch_seed, *name_key.tolist()])
+            seq = np.random.SeedSequence([self.mismatch_seed, *structure_entropy(structure)])
             rng = np.random.default_rng(seq)
             self._structure_cache[structure] = self.deck.sample_structure(self.die_params, rng)
         return self._structure_cache[structure]
@@ -113,21 +114,40 @@ class MonteCarloEngine:
             mismatch_seed=int(gen.integers(0, 2**63 - 1)),
         )
 
-    def run(self, n: int, seed: SeedLike = None) -> MonteCarloResult:
-        """Simulate ``n`` golden devices and measure PCMs + fingerprints."""
+    def run(self, n: int, seed: SeedLike = None, n_jobs: int = 1) -> MonteCarloResult:
+        """Simulate ``n`` golden devices and measure PCMs + fingerprints.
+
+        Every device owns a random stream spawned from ``seed`` before any
+        work is dispatched, and the numerical-noise draw comes from its own
+        dedicated stream, so the result is bit-identical for every ``n_jobs``
+        value (including the serial path).
+        """
         if n <= 0:
             raise ValueError(f"n must be positive, got {n}")
-        rng = as_generator(seed)
-        pcms = np.empty((n, self.campaign.np_dim))
-        fingerprints = np.empty((n, self.campaign.nm))
-        for i in range(n):
-            die = self.sample_die(i, rng)
-            device = self.campaign.measure_device(die, trojan=None, version="TF")
-            pcms[i] = device.pcms
-            fingerprints[i] = device.fingerprint
+        device_root, noise_root = spawn_seed_sequences(seed, 2)
+        worker = functools.partial(_simulate_device, self.deck, self.campaign)
+        rows = parallel_map(worker, list(enumerate(device_root.spawn(n))), n_jobs=n_jobs)
+        pcms = np.stack([row[0] for row in rows])
+        fingerprints = np.stack([row[1] for row in rows])
         if self.numerical_noise > 0:
-            pcms = pcms * (1.0 + self.numerical_noise * rng.standard_normal(pcms.shape))
+            noise_rng = np.random.default_rng(noise_root)
+            pcms = pcms * (1.0 + self.numerical_noise * noise_rng.standard_normal(pcms.shape))
             fingerprints = fingerprints * (
-                1.0 + self.numerical_noise * rng.standard_normal(fingerprints.shape)
+                1.0 + self.numerical_noise * noise_rng.standard_normal(fingerprints.shape)
             )
         return MonteCarloResult(pcms=pcms, fingerprints=fingerprints)
+
+
+def _simulate_device(deck: SpiceDeck, campaign, item):
+    """Simulate + measure one device from its pre-spawned seed (picklable)."""
+    index, seed = item
+    rng = np.random.default_rng(seed)
+    die_params = deck.sample_die(rng)
+    die = SimulatedDie(
+        index=index,
+        die_params=die_params,
+        deck=deck,
+        mismatch_seed=int(rng.integers(0, 2**63 - 1)),
+    )
+    device = campaign.measure_device(die, trojan=None, version="TF")
+    return device.pcms, device.fingerprint

@@ -63,6 +63,11 @@ class DetectorConfig:
         directions of the trusted region (see the regression ablation).
     seed:
         Master seed for every stochastic pipeline step.
+    n_jobs:
+        Worker processes for the independent boundary fits (clamped to the
+        CPU count; negative = joblib convention).  Results are bit-identical
+        for every value: each boundary owns a child generator spawned from
+        the master seed.
     """
 
     n_monte_carlo: int = 100
@@ -84,7 +89,8 @@ class DetectorConfig:
     mars_penalty: float = 2.0
     regression_mode: str = "latent_gain"
     boundary_method: str = "ocsvm"
-    seed: Optional[int] = 0
+    seed: Optional[int] = 11
+    n_jobs: int = 1
 
     def __post_init__(self):
         if self.n_monte_carlo < 10:
@@ -118,3 +124,5 @@ class DetectorConfig:
                 "svm_max_training_samples must be >= 10, "
                 f"got {self.svm_max_training_samples}"
             )
+        if not isinstance(self.n_jobs, int) or isinstance(self.n_jobs, bool):
+            raise ValueError(f"n_jobs must be an integer, got {self.n_jobs!r}")

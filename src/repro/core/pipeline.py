@@ -32,10 +32,17 @@ from repro.core.datasets import (
     train_regressions,
 )
 from repro.core.metrics import DetectionMetrics, evaluate_detection
+from repro.utils.parallel import parallel_map
 from repro.utils.rng import spawn_children
 from repro.utils.validation import check_2d
 
 BOUNDARY_NAMES = ("B1", "B2", "B3", "B4", "B5")
+
+
+def _fit_region(item):
+    """Fit one trusted region on its dataset (picklable pool worker)."""
+    region, data = item
+    return region.fit(data)
 
 
 class GoldenChipFreeDetector:
@@ -57,8 +64,11 @@ class GoldenChipFreeDetector:
         self.regressions_ = None
         self._sim_pcms: Optional[np.ndarray] = None
         # Independent child generators per stochastic step, all derived from
-        # the master seed: [S2 KDE, KMM resample, S5 KDE, SVM subsampling].
-        self._rngs = spawn_children(self.config.seed, 4)
+        # the master seed: [S2 KDE, KMM resample, S5 KDE, B1, B2, B3, B4, B5].
+        # SeedSequence spawning is prefix-stable, so the first three streams
+        # match the historical 4-child layout; each boundary now owns its own
+        # stream (required for order-independent, parallelizable fits).
+        self._rngs = spawn_children(self.config.seed, 3 + len(BOUNDARY_NAMES))
 
     # ------------------------------------------------------------------
     # stage 1: pre-manufacturing
@@ -75,8 +85,7 @@ class GoldenChipFreeDetector:
         self.datasets.sets["S2"] = tail_enhance(
             self.datasets["S1"], self.config, rng=self._rngs[0]
         )
-        self.boundaries["B1"] = self._new_region("B1").fit(self.datasets["S1"])
-        self.boundaries["B2"] = self._new_region("B2").fit(self.datasets["S2"])
+        self._fit_boundaries({"B1": "S1", "B2": "S2"})
         return self
 
     # ------------------------------------------------------------------
@@ -101,9 +110,7 @@ class GoldenChipFreeDetector:
         self.datasets.sets["S5"] = tail_enhance(
             self.datasets["S4"], self.config, rng=self._rngs[2]
         )
-        self.boundaries["B3"] = self._new_region("B3").fit(self.datasets["S3"])
-        self.boundaries["B4"] = self._new_region("B4").fit(self.datasets["S4"])
-        self.boundaries["B5"] = self._new_region("B5").fit(self.datasets["S5"])
+        self._fit_boundaries({"B3": "S3", "B4": "S4", "B5": "S5"})
         return self
 
     def _new_region(self, name: str) -> TrustedRegion:
@@ -115,8 +122,20 @@ class GoldenChipFreeDetector:
             noise_floor_rel=self.config.noise_floor_rel,
             max_training_samples=self.config.svm_max_training_samples,
             method=self.config.boundary_method,
-            seed=self._rngs[3],
+            seed=self._rngs[3 + BOUNDARY_NAMES.index(name)],
         )
+
+    def _fit_boundaries(self, mapping: Dict[str, str]) -> None:
+        """Fit independent boundaries, optionally across worker processes.
+
+        Each boundary consumes only its own child generator, so fitting in a
+        pool yields the same regions as fitting serially, in any order.
+        """
+        pairs = [(self._new_region(name), self.datasets[dataset])
+                 for name, dataset in mapping.items()]
+        fitted = parallel_map(_fit_region, pairs, n_jobs=self.config.n_jobs)
+        for name, region in zip(mapping, fitted):
+            self.boundaries[name] = region
 
     # ------------------------------------------------------------------
     # stage 3: trojan test

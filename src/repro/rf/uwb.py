@@ -65,20 +65,29 @@ class UwbTransmitter:
     def __post_init__(self):
         if self.shaper_params is None:
             self.shaper_params = self.pa_params
+        # Both analog quantities are pure functions of the frozen process
+        # parameters, yet every transmitted block re-reads them (nm blocks x
+        # 3 versions per device).  Evaluate once per transmitter instead.
+        self._amplitude: Optional[float] = None
+        self._frequency_ghz: Optional[float] = None
 
     def output_amplitude(self) -> float:
         """Nominal per-pulse peak amplitude in volts (I_drive * R_antenna)."""
-        current = self._pa_device.saturation_current(self.pa_params, self.vdd)
-        amplitude = current * ANTENNA_LOAD_OHM
-        # The PA clips near the rail; keep amplitudes physical.
-        return float(min(amplitude, 0.95 * self.vdd))
+        if self._amplitude is None:
+            current = self._pa_device.saturation_current(self.pa_params, self.vdd)
+            amplitude = current * ANTENNA_LOAD_OHM
+            # The PA clips near the rail; keep amplitudes physical.
+            self._amplitude = float(min(amplitude, 0.95 * self.vdd))
+        return self._amplitude
 
     def center_frequency_ghz(self) -> float:
         """Pulse centre frequency in GHz, set by the shaping-cell delay."""
-        current = self._shaper_device.saturation_current(self.shaper_params, self.vdd)
-        cap_f = SHAPER_CAP_FF * self.shaper_params.cpar * 1e-15
-        delay_s = cap_f * self.vdd / current
-        return float(SHAPER_FREQ_SCALE / (delay_s * 1e9))
+        if self._frequency_ghz is None:
+            current = self._shaper_device.saturation_current(self.shaper_params, self.vdd)
+            cap_f = SHAPER_CAP_FF * self.shaper_params.cpar * 1e-15
+            delay_s = cap_f * self.vdd / current
+            self._frequency_ghz = float(SHAPER_FREQ_SCALE / (delay_s * 1e9))
+        return self._frequency_ghz
 
     def transmit(self, bits: np.ndarray, trojan=None, key_bits: Optional[np.ndarray] = None,
                  ) -> PulseTrain:

@@ -18,7 +18,7 @@ import numpy as np
 from repro.process.parameters import OperatingPointShift, ProcessParameters
 from repro.process.variation import VariationModel
 from repro.process.wafer import DieSite, Lot
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import SeedLike, as_generator, structure_entropy
 
 
 @dataclass
@@ -47,10 +47,9 @@ class FabricatedDie:
     def structure_params(self, structure: str) -> ProcessParameters:
         """Local process parameters of the named on-die structure."""
         if structure not in self._structure_cache:
-            # Stable per-(die, structure) stream: hash the structure name
-            # into the die's seed sequence.
-            name_key = np.frombuffer(structure.encode("utf-8"), dtype=np.uint8)
-            seq = np.random.SeedSequence([self.mismatch_seed, *name_key.tolist()])
+            # Stable per-(die, structure) stream: mix the structure name's
+            # byte values into the die's seed sequence.
+            seq = np.random.SeedSequence([self.mismatch_seed, *structure_entropy(structure)])
             rng = np.random.default_rng(seq)
             local = self.variation.sample_structure(self.die_params, rng)
             for key, shifts in self.analog_model_error.items():

@@ -1,18 +1,37 @@
-"""Kernel functions and Gram matrices for KMM and the one-class SVM."""
+"""Kernel functions and Gram matrices for KMM and the one-class SVM.
+
+:func:`pairwise_sq_dists` is the shared squared-distance building block:
+the one-class SVM, kernel mean matching and the KDE all reduce their Gram /
+kernel evaluations to one call of it (one GEMM), so a distance matrix is
+never computed twice for the same data.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_2d, check_positive
 
 
-def _pairwise_sq_dists(x: np.ndarray, y: np.ndarray) -> np.ndarray:
-    """Squared Euclidean distances between the rows of ``x`` and ``y``."""
+def pairwise_sq_dists(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between the rows of ``x`` and ``y``.
+
+    Evaluated as ``||x||^2 + ||y||^2 - 2 x.y`` (one GEMM) with in-place
+    updates; for large Gram matrices the avoided temporaries matter as much
+    as the arithmetic.
+    """
     x_norm = np.sum(x**2, axis=1)[:, None]
     y_norm = np.sum(y**2, axis=1)[None, :]
-    sq = x_norm + y_norm - 2.0 * (x @ y.T)
-    return np.maximum(sq, 0.0)
+    prod = x @ y.T
+    prod *= 2.0
+    sq = x_norm + y_norm
+    np.subtract(sq, prod, out=sq)
+    return np.maximum(sq, 0.0, out=sq)
+
+
+# Backwards-compatible alias (pre-1.1 private name).
+_pairwise_sq_dists = pairwise_sq_dists
 
 
 def rbf_kernel(x, y=None, gamma: float = 1.0) -> np.ndarray:
@@ -20,7 +39,18 @@ def rbf_kernel(x, y=None, gamma: float = 1.0) -> np.ndarray:
     x = check_2d(x, "x")
     y = x if y is None else check_2d(y, "y")
     check_positive(gamma, "gamma")
-    return np.exp(-gamma * _pairwise_sq_dists(x, y))
+    return rbf_from_sq_dists(pairwise_sq_dists(x, y), gamma)
+
+
+def rbf_from_sq_dists(sq: np.ndarray, gamma: float) -> np.ndarray:
+    """RBF Gram matrix from a precomputed squared-distance matrix.
+
+    Consumes ``sq`` in place (the caller hands over the buffer); use this
+    when the distances are already in hand to avoid a second GEMM.
+    """
+    check_positive(gamma, "gamma")
+    sq *= -gamma
+    return np.exp(sq, out=sq)
 
 
 def linear_kernel(x, y=None) -> np.ndarray:
@@ -41,25 +71,42 @@ def polynomial_kernel(x, y=None, degree: int = 3, coef0: float = 1.0,
     return (gamma * (x @ y.T) + coef0) ** degree
 
 
-def median_heuristic_gamma(x, max_samples: int = 1000, rng=None) -> float:
-    """RBF gamma from the median pairwise distance heuristic.
+def median_heuristic_gamma_from_sq(sq: np.ndarray, max_samples: int = 1000) -> float:
+    """RBF gamma from a precomputed symmetric squared-distance matrix.
 
-    gamma = 1 / (2 * median(||xi - xj||)^2); a robust default bandwidth for
-    both KMM and the one-class SVM.  Subsamples to ``max_samples`` rows for
-    large populations.
+    gamma = 1 / (2 * median(||xi - xj||^2)) over the strict upper triangle;
+    deterministic — callers that already paid for the full distance matrix
+    get the heuristic without another GEMM.  Above ``max_samples`` rows the
+    median is taken over an evenly strided row subset (still deterministic;
+    the exact median of an O(n^2) triangle buys no extra robustness).
     """
-    x = check_2d(x, "x")
-    if x.shape[0] > max_samples:
-        gen = np.random.default_rng(rng if not isinstance(rng, np.random.Generator) else None)
-        if isinstance(rng, np.random.Generator):
-            gen = rng
-        idx = gen.choice(x.shape[0], size=max_samples, replace=False)
-        x = x[idx]
-    sq = _pairwise_sq_dists(x, x)
-    upper = sq[np.triu_indices_from(sq, k=1)]
-    if upper.size == 0:
+    n = sq.shape[0]
+    if n < 2:
         return 1.0
+    if n > max_samples:
+        idx = np.arange(0, n, -(-n // max_samples))
+        sq = sq[np.ix_(idx, idx)]
+        n = sq.shape[0]
+    # Row-sliced strict upper triangle: same entries as triu_indices_from
+    # without materializing two O(n^2) index arrays.
+    upper = np.concatenate([sq[i, i + 1:] for i in range(n - 1)])
     median_sq = float(np.median(upper))
     if median_sq <= 0.0:
         return 1.0
     return 1.0 / (2.0 * median_sq)
+
+
+def median_heuristic_gamma(x, max_samples: int = 1000, rng: SeedLike = 0) -> float:
+    """RBF gamma from the median pairwise distance heuristic.
+
+    gamma = 1 / (2 * median(||xi - xj||)^2); a robust default bandwidth for
+    both KMM and the one-class SVM.  Subsamples to ``max_samples`` rows for
+    large populations; the subsample is drawn from ``rng`` (a fixed default
+    seed, so the heuristic is deterministic unless a generator is passed).
+    """
+    x = check_2d(x, "x")
+    if x.shape[0] > max_samples:
+        gen = as_generator(rng)
+        idx = gen.choice(x.shape[0], size=max_samples, replace=False)
+        x = x[idx]
+    return median_heuristic_gamma_from_sq(pairwise_sq_dists(x, x))

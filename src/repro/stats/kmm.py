@@ -20,7 +20,11 @@ from typing import Optional
 
 import numpy as np
 
-from repro.stats.kernels import median_heuristic_gamma, rbf_kernel
+from repro.stats.kernels import (
+    median_heuristic_gamma_from_sq,
+    pairwise_sq_dists,
+    rbf_from_sq_dists,
+)
 from repro.stats.qp import solve_qp
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_2d
@@ -70,14 +74,19 @@ class KernelMeanMatcher:
         n_tr = train.shape[0]
         n_te = test.shape[0]
 
+        # One pooled squared-distance pass serves the median-heuristic gamma,
+        # the train Gram matrix and the train-test cross kernel.
+        pooled = np.vstack([train, test])
+        sq = pairwise_sq_dists(pooled, pooled)
         gamma = self.gamma
         if gamma is None:
-            gamma = median_heuristic_gamma(np.vstack([train, test]))
+            gamma = median_heuristic_gamma_from_sq(sq)
+        pooled_kernel = rbf_from_sq_dists(sq, gamma)  # consumes the sq buffer
 
-        K = rbf_kernel(train, gamma=gamma)
+        K = pooled_kernel[:n_tr, :n_tr]
         # Regularize the Gram diagonal slightly: keeps the QP strictly convex.
         K = K + 1e-8 * np.eye(n_tr)
-        kappa = (n_tr / n_te) * rbf_kernel(train, test, gamma=gamma).sum(axis=1)
+        kappa = (n_tr / n_te) * pooled_kernel[:n_tr, n_tr:].sum(axis=1)
 
         eps = self.eps
         if eps is None:

@@ -15,6 +15,7 @@ measured under identical stimuli.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -27,6 +28,7 @@ from repro.silicon.instruments import DelayAnalyzer, PowerMeter
 from repro.silicon.pcm import PCMSuite
 from repro.testbed.chip import WirelessCryptoChip
 from repro.trojans.base import TrojanModel
+from repro.utils.parallel import parallel_map
 from repro.utils.rng import SeedLike, as_generator
 
 
@@ -60,6 +62,13 @@ class FingerprintCampaign:
         Wireless channel between chip and bench (``None`` = ideal).
     power_meter / delay_analyzer:
         Bench instruments (``None`` = noise-free readings, as in Spice).
+    instrument_root:
+        Master :class:`~numpy.random.SeedSequence` for *per-device* instrument
+        streams.  When set, :meth:`measure_population` spawns one child seed
+        per device and measures it with freshly seeded instruments, so the
+        noise a device sees does not depend on measurement order or worker
+        count.  ``None`` keeps the legacy behaviour: all devices share the
+        campaign instruments' stateful streams (serial only).
     """
 
     key: bytes
@@ -69,6 +78,7 @@ class FingerprintCampaign:
     channel: Optional[AwgnChannel] = None
     power_meter: Optional[PowerMeter] = None
     delay_analyzer: Optional[DelayAnalyzer] = None
+    instrument_root: Optional[np.random.SeedSequence] = field(default=None, repr=False)
 
     def __post_init__(self):
         if len(self.key) != 16:
@@ -141,6 +151,7 @@ class FingerprintCampaign:
             channel=self.channel,
             power_meter=PowerMeter(seed=rng),
             delay_analyzer=DelayAnalyzer(seed=rng, gain_sigma=pcm_noise),
+            instrument_root=np.random.SeedSequence(int(rng.integers(0, 2**63 - 1))),
         )
 
     # ------------------------------------------------------------------
@@ -198,6 +209,56 @@ class FingerprintCampaign:
         dies,
         trojan: Optional[TrojanModel] = None,
         version: str = "TF",
+        n_jobs: int = 1,
     ) -> List[MeasuredDevice]:
-        """Measure one design version across a die population."""
+        """Measure one design version across a die population.
+
+        With ``instrument_root`` set (see :meth:`silicon_bench`), each device
+        is measured with instruments seeded from its own spawned stream —
+        bit-identical for any ``n_jobs``.  A noise-free campaign is
+        deterministic per die and parallelizes directly.  A legacy bench
+        whose instruments share one stateful stream is order-dependent and
+        always measured serially.
+        """
+        dies = list(dies)
+        if self.instrument_root is not None:
+            # Stateful spawn: consecutive populations (TF, T1, T2 sweeps) get
+            # fresh, non-overlapping per-device seeds in call order.
+            seeds = self.instrument_root.spawn(len(dies))
+            worker = functools.partial(_measure_with_fresh_instruments, self, trojan, version)
+            return parallel_map(worker, list(zip(dies, seeds)), n_jobs=n_jobs)
+        if self.power_meter is None and self.delay_analyzer is None:
+            worker = functools.partial(_measure_noise_free, self, trojan, version)
+            return parallel_map(worker, dies, n_jobs=n_jobs)
         return [self.measure_device(die, trojan=trojan, version=version) for die in dies]
+
+
+def _measure_noise_free(campaign: FingerprintCampaign, trojan, version, die) -> MeasuredDevice:
+    """Measure one die on an instrument-free campaign (picklable worker)."""
+    return campaign.measure_device(die, trojan=trojan, version=version)
+
+
+def _measure_with_fresh_instruments(
+    campaign: FingerprintCampaign, trojan, version, item
+) -> MeasuredDevice:
+    """Measure one die with per-device instrument streams (picklable worker)."""
+    die, seed = item
+    power_seq, delay_seq = seed.spawn(2)
+    local = FingerprintCampaign(
+        key=campaign.key,
+        plaintexts=list(campaign.plaintexts),
+        pcm_suite=campaign.pcm_suite,
+        receiver=campaign.receiver,
+        channel=campaign.channel,
+        power_meter=(
+            PowerMeter(seed=power_seq, gain_sigma=campaign.power_meter.gain_sigma)
+            if campaign.power_meter is not None
+            else None
+        ),
+        delay_analyzer=(
+            DelayAnalyzer(seed=delay_seq, gain_sigma=campaign.delay_analyzer.gain_sigma)
+            if campaign.delay_analyzer is not None
+            else None
+        ),
+    )
+    return local.measure_device(die, trojan=trojan, version=version)

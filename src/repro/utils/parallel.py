@@ -1,0 +1,79 @@
+"""Deterministic process-parallel execution with ordered gather.
+
+The simulation stages (Monte Carlo device synthesis, the fabricated-lot
+measurement sweep) are embarrassingly parallel over devices, but naive
+parallelism breaks bit-reproducibility: a shared random stream consumed in
+completion order yields different data on every run.  The contract here is
+
+* callers pre-assign every work item its own random stream
+  (``SeedSequence.spawn``), so results do not depend on scheduling;
+* :func:`parallel_map` always returns results in item order;
+* ``n_jobs=1`` (the default) never touches a pool, and any pool
+  *infrastructure* failure (fork refused, unpicklable payload, a broken
+  worker) falls back to the serial path rather than aborting the run.
+
+Worker counts are clamped to the machine's CPU count — oversubscribing
+processes never helps the numpy-bound workloads here, and the clamp makes
+``n_jobs=4`` safe to hard-code in scripts that also run on small boxes.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, List, Optional, Sequence
+
+#: Exceptions that indicate the *pool* (not the work) failed; these trigger
+#: the serial fallback.  Everything else propagates to the caller.
+_POOL_FAILURES = (OSError, BrokenProcessPool, pickle.PicklingError, ImportError)
+
+
+def resolve_n_jobs(n_jobs: Optional[int] = 1, cpu_count: Optional[int] = None) -> int:
+    """Normalize an ``n_jobs`` request to an effective worker count.
+
+    ``None`` and ``0`` mean serial; negative values count back from the
+    machine size (``-1`` = all cores, joblib convention); positive requests
+    are clamped to the CPU count.  ``cpu_count`` is injectable for tests.
+    """
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    if n_jobs is None or n_jobs == 0:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs < 0:
+        n_jobs = cpus + 1 + n_jobs
+    return max(1, min(n_jobs, cpus))
+
+
+def parallel_map(
+    fn: Callable,
+    items: Iterable,
+    n_jobs: Optional[int] = 1,
+    cpu_count: Optional[int] = None,
+) -> List:
+    """Apply ``fn`` to every item, optionally across a process pool.
+
+    Results are gathered in item order regardless of completion order, so a
+    caller that pre-seeds its items gets bit-identical output for every
+    ``n_jobs`` value.  ``fn`` and the items must be picklable when a pool is
+    used; if the pool cannot be built or breaks, the remaining work runs
+    serially in-process.
+    """
+    items = list(items)
+    workers = min(resolve_n_jobs(n_jobs, cpu_count=cpu_count), len(items))
+    if workers <= 1:
+        return [fn(item) for item in items]
+    try:
+        # Closures and lambdas are not picklable; pickle signals this with
+        # a mix of PicklingError / AttributeError / TypeError depending on
+        # the payload, so probe once up front instead of enumerating them.
+        pickle.dumps(fn)
+    except Exception:
+        return [fn(item) for item in items]
+    chunksize = max(1, len(items) // (workers * 2))
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items, chunksize=chunksize))
+    except _POOL_FAILURES:
+        return [fn(item) for item in items]

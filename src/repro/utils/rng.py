@@ -8,6 +8,7 @@ still allowing quick interactive use.
 
 from __future__ import annotations
 
+import functools
 from typing import Optional, Union
 
 import numpy as np
@@ -45,3 +46,36 @@ def spawn_children(seed: SeedLike, count: int) -> list:
         return [np.random.default_rng(int(s)) for s in seeds]
     sequence = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+
+def spawn_seed_sequences(seed: SeedLike, count: int) -> list:
+    """Derive ``count`` independent :class:`~numpy.random.SeedSequence` children.
+
+    Unlike :func:`spawn_children` this returns *seeds*, not generators, so the
+    children can cross a process boundary cheaply and be turned into
+    generators inside worker processes.  All entropy is drawn up front in the
+    caller, which makes results independent of worker scheduling.
+
+    Like ``SeedSequence.spawn``, the children are prefix-stable: the first
+    ``k`` of ``spawn_seed_sequences(seed, n)`` equal
+    ``spawn_seed_sequences(seed, k)`` for ``k <= n``.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        drawn = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.SeedSequence(int(s)) for s in drawn]
+    sequence = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return sequence.spawn(count)
+
+
+@functools.lru_cache(maxsize=None)
+def structure_entropy(name: str) -> tuple:
+    """Entropy words encoding a structure name for ``SeedSequence`` mixing.
+
+    Equivalent to the UTF-8 byte values of ``name`` (what
+    ``np.frombuffer(name.encode(), dtype=np.uint8).tolist()`` produces), but
+    computed once per distinct name: the same handful of monitor / RF
+    structure names recurs for every device of every population.
+    """
+    return tuple(name.encode("utf-8"))

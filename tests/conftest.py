@@ -18,14 +18,14 @@ from repro.experiments.platformcfg import PlatformConfig, generate_experiment_da
 
 def small_platform(**overrides) -> PlatformConfig:
     """A reduced-size platform configuration for fast tests."""
-    defaults = dict(n_chips=12, n_monte_carlo=40, seed=6)
+    defaults = dict(n_chips=12, n_monte_carlo=40, seed=5)
     defaults.update(overrides)
     return PlatformConfig(**defaults)
 
 
 def small_detector_config(**overrides) -> DetectorConfig:
     """A reduced-size detector configuration for fast tests."""
-    defaults = dict(kde_samples=2000, svm_max_training_samples=400, seed=0)
+    defaults = dict(kde_samples=2000, svm_max_training_samples=400, seed=11)
     defaults.update(overrides)
     return DetectorConfig(**defaults)
 

@@ -1,0 +1,102 @@
+"""n_jobs invariance: parallel runs are bit-identical to serial runs.
+
+The parallelism contract (see ``repro.utils.parallel``) is that every work
+item owns a pre-spawned random stream, so the *number* of workers can never
+change a single bit of the output.  The CI box may have one CPU, so the
+tests force real process pools by patching ``os.cpu_count``.
+"""
+
+from unittest import mock
+
+import numpy as np
+import pytest
+
+from repro.circuits.montecarlo import MonteCarloEngine
+from repro.circuits.spicemodel import default_spice_deck
+from repro.core.pipeline import GoldenChipFreeDetector
+from repro.experiments.platformcfg import generate_experiment_data
+from repro.testbed.campaign import FingerprintCampaign
+from tests.conftest import small_detector_config, small_platform
+
+
+def _with_fake_cores(n):
+    return mock.patch("os.cpu_count", return_value=n)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    campaign = FingerprintCampaign.random_stimuli(nm=4, seed=0, noisy_bench=False)
+    return MonteCarloEngine(default_spice_deck(), campaign, numerical_noise=0.0015)
+
+
+class TestMonteCarloBitIdentity:
+    def test_pool_matches_serial(self, engine):
+        serial = engine.run(16, seed=123, n_jobs=1)
+        with _with_fake_cores(4):
+            pooled = engine.run(16, seed=123, n_jobs=4)
+        np.testing.assert_array_equal(pooled.pcms, serial.pcms)
+        np.testing.assert_array_equal(pooled.fingerprints, serial.fingerprints)
+
+    def test_generator_seed_also_invariant(self, engine):
+        serial = engine.run(10, seed=np.random.default_rng(5), n_jobs=1)
+        with _with_fake_cores(4):
+            pooled = engine.run(10, seed=np.random.default_rng(5), n_jobs=4)
+        np.testing.assert_array_equal(pooled.fingerprints, serial.fingerprints)
+
+    def test_excess_workers_are_harmless(self, engine):
+        serial = engine.run(6, seed=1, n_jobs=1)
+        with _with_fake_cores(4):
+            pooled = engine.run(6, seed=1, n_jobs=-1)
+        np.testing.assert_array_equal(pooled.fingerprints, serial.fingerprints)
+
+
+class TestExperimentBitIdentity:
+    def test_full_synthetic_experiment(self):
+        # Covers both parallel stages at once: the Monte Carlo engine and
+        # the noisy-instrument silicon measurement sweep (TF + T1 + T2).
+        serial = generate_experiment_data(small_platform(n_chips=8, n_monte_carlo=20))
+        with _with_fake_cores(4):
+            pooled = generate_experiment_data(
+                small_platform(n_chips=8, n_monte_carlo=20, n_jobs=4)
+            )
+        np.testing.assert_array_equal(pooled.sim_pcms, serial.sim_pcms)
+        np.testing.assert_array_equal(pooled.sim_fingerprints, serial.sim_fingerprints)
+        np.testing.assert_array_equal(pooled.dutt_pcms, serial.dutt_pcms)
+        np.testing.assert_array_equal(
+            pooled.dutt_fingerprints, serial.dutt_fingerprints
+        )
+        np.testing.assert_array_equal(pooled.infested, serial.infested)
+        assert pooled.trojan_names == serial.trojan_names
+
+
+class TestDetectorBitIdentity:
+    def test_boundary_fits_match_serial(self, experiment_data):
+        detectors = {}
+        for n_jobs in (1, 4):
+            detector = GoldenChipFreeDetector(small_detector_config(n_jobs=n_jobs))
+            with _with_fake_cores(4):
+                detector.fit_premanufacturing(
+                    experiment_data.sim_pcms, experiment_data.sim_fingerprints
+                )
+                detector.fit_silicon(experiment_data.dutt_pcms)
+            detectors[n_jobs] = detector
+        serial, pooled = detectors[1], detectors[4]
+        assert set(serial.boundaries) == set(pooled.boundaries)
+        for name, region in serial.boundaries.items():
+            other = pooled.boundaries[name]
+            np.testing.assert_array_equal(
+                other._learner.support_vectors_, region._learner.support_vectors_
+            )
+            np.testing.assert_array_equal(
+                other._learner.dual_coefs_, region._learner.dual_coefs_
+            )
+            assert other._learner.rho_ == region._learner.rho_
+        metrics_serial = serial.evaluate(
+            experiment_data.dutt_fingerprints, experiment_data.infested
+        )
+        metrics_pooled = pooled.evaluate(
+            experiment_data.dutt_fingerprints, experiment_data.infested
+        )
+        for name, metric in metrics_serial.items():
+            assert metrics_pooled[name].fn_count == metric.fn_count
+            assert metrics_pooled[name].fp_count == metric.fp_count

@@ -1,0 +1,170 @@
+"""Reference-implementation property tests for the vectorized hot paths.
+
+The KDE density evaluation and the SMO solver were rewritten for speed; these
+tests pin them against slow-but-obviously-correct references:
+
+* the blocked GEMM density evaluation must match a per-observation Python
+  loop over the kernel definition (Eq. 5-7) to 1e-12, for both the fixed and
+  the adaptive estimate;
+* the Epanechnikov offset sampler must satisfy the kernel's radial law
+  (support inside the unit ball, E[r^2] = d / (d + 4));
+* the SMO solver must keep reproducing a frozen reference solution
+  (rho, gamma, support set) on a fixed fingerprint-sized problem, so any
+  future "optimization" that changes the optimum is caught immediately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.learn.ocsvm import OneClassSvm
+from repro.stats.kde import (
+    AdaptiveKde,
+    EpanechnikovKde,
+    _sample_unit_epanechnikov,
+    unit_ball_volume,
+)
+
+
+def _loop_density(kde, points):
+    """Per-observation transliteration of Eq. (5)/(7): f(x) = (1/M) sum_i
+    Ke((x - m_i) / h_i) / h_i^d, evaluated in the estimator's working
+    coordinates and mapped back through the whitening Jacobian."""
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    working = kde._to_working(points)
+    train = kde._points
+    m, d = train.shape
+    if getattr(kde, "_lambdas", None) is not None:
+        bandwidths = kde._h * kde._lambdas
+    else:
+        bandwidths = np.full(m, kde._h)
+    coeff = 0.5 * (d + 2.0) / unit_ball_volume(d)
+    out = np.empty(working.shape[0])
+    for row, x in enumerate(working):
+        total = 0.0
+        for center, h in zip(train, bandwidths):
+            t_sq = float(np.sum((x - center) ** 2)) / h**2
+            if t_sq < 1.0:
+                total += coeff * (1.0 - t_sq) / h**d
+        out[row] = total / m
+    return out * kde._jacobian()
+
+
+@pytest.fixture(scope="module")
+def clouds():
+    rng = np.random.default_rng(2024)
+    train = rng.standard_normal((180, 4)) @ np.diag([3.0, 1.0, 0.4, 0.05])
+    # Queries that straddle the cloud: training points, near-misses, and
+    # far-out probes whose density must be exactly zero in both paths.
+    queries = np.vstack([
+        train[:40],
+        train[40:80] + 0.1 * rng.standard_normal((40, 4)),
+        train[:10] + 50.0,
+    ])
+    return train, queries
+
+
+class TestDensityMatchesLoop:
+    def test_fixed_bandwidth(self, clouds):
+        train, queries = clouds
+        kde = EpanechnikovKde().fit(train)
+        np.testing.assert_allclose(
+            kde.density(queries), _loop_density(kde, queries), rtol=1e-12, atol=1e-15
+        )
+
+    def test_adaptive_bandwidth(self, clouds):
+        train, queries = clouds
+        kde = AdaptiveKde(alpha=0.5).fit(train)
+        np.testing.assert_allclose(
+            kde.density(queries), _loop_density(kde, queries), rtol=1e-12, atol=1e-15
+        )
+
+    def test_blocked_evaluation_is_invisible(self, clouds):
+        # A tiny scratch budget forces many blocks; the split changes GEMM
+        # shapes (1-ulp reassociation) but nothing beyond that.
+        train, queries = clouds
+        one_block = AdaptiveKde(alpha=0.5).fit(train)
+        many_blocks = AdaptiveKde(alpha=0.5, max_block_bytes=4096).fit(train)
+        np.testing.assert_allclose(
+            one_block.density(queries), many_blocks.density(queries),
+            rtol=1e-12, atol=1e-15,
+        )
+
+    def test_unwhitened_and_alpha_extremes(self, clouds):
+        train, queries = clouds
+        for kde in (
+            EpanechnikovKde(whiten=False).fit(train),
+            AdaptiveKde(alpha=0.0).fit(train),
+            AdaptiveKde(alpha=1.0).fit(train),
+        ):
+            np.testing.assert_allclose(
+                kde.density(queries), _loop_density(kde, queries),
+                rtol=1e-12, atol=1e-15,
+            )
+
+
+class TestEpanechnikovSampler:
+    def test_offsets_live_in_the_unit_ball(self):
+        offsets = _sample_unit_epanechnikov(5000, 3, np.random.default_rng(1))
+        radii = np.linalg.norm(offsets, axis=1)
+        assert radii.max() <= 1.0
+
+    @pytest.mark.parametrize("d", [1, 2, 6])
+    def test_radial_second_moment(self, d):
+        # The kernel's radial law gives E[r^2] = d / (d + 4).
+        offsets = _sample_unit_epanechnikov(40_000, d, np.random.default_rng(d))
+        observed = float(np.mean(np.sum(offsets**2, axis=1)))
+        assert observed == pytest.approx(d / (d + 4.0), rel=0.03)
+
+    def test_sampling_is_deterministic_per_seed(self, clouds):
+        train, _ = clouds
+        kde = AdaptiveKde(alpha=0.5).fit(train)
+        np.testing.assert_array_equal(kde.sample(500, rng=9), kde.sample(500, rng=9))
+
+    def test_fixed_kde_samples_stay_within_bandwidth_reach(self, clouds):
+        train, _ = clouds
+        kde = EpanechnikovKde(whiten=False).fit(train)
+        samples = kde.sample(1000, rng=3)
+        # Every sample is center + h * (unit-ball offset): its distance to
+        # the nearest training point can be at most h.
+        d2 = (
+            np.sum(samples**2, axis=1)[:, None]
+            + np.sum(train**2, axis=1)[None, :]
+            - 2.0 * samples @ train.T
+        )
+        nearest = np.sqrt(np.maximum(d2.min(axis=1), 0.0))
+        assert nearest.max() <= kde.h + 1e-9
+
+
+class TestOcsvmReferenceFixture:
+    """Frozen optimum of the SMO solver on a fingerprint-sized problem.
+
+    The numbers were captured from the maximal-violating-pair solver on
+    ``default_rng(42).standard_normal((400, 6))`` with nu=0.08; they pin both
+    the solution (rho, support set) and the solver trajectory (iteration
+    count).  A refactor may legitimately change the trajectory, but the
+    optimum itself must stay put to ~1e-12.
+    """
+
+    def test_reference_solution(self):
+        data = np.random.default_rng(42).standard_normal((400, 6))
+        model = OneClassSvm(nu=0.08, seed=0).fit(data)
+        assert model.rho_ == pytest.approx(0.3595916782773646, abs=1e-12)
+        assert model.effective_gamma_ == pytest.approx(0.04598908353902973, abs=1e-14)
+        assert model.support_vectors_.shape == (37, 6)
+        assert model.n_iterations_ == 105
+        assert float(model.support_vectors_.sum()) == pytest.approx(
+            -17.660921191243737, abs=1e-10
+        )
+        assert float(np.linalg.norm(model.dual_coefs_)) == pytest.approx(
+            0.17012268526666183, abs=1e-12
+        )
+        # nu bounds the training outlier fraction from above (soft ~ 1 - nu).
+        assert model.training_inlier_fraction(data) == pytest.approx(0.92, abs=1e-12)
+
+    def test_dual_feasibility(self):
+        data = np.random.default_rng(42).standard_normal((400, 6))
+        model = OneClassSvm(nu=0.08, seed=0).fit(data)
+        c_bound = 1.0 / (0.08 * 400)
+        assert float(model.dual_coefs_.sum()) == pytest.approx(1.0, abs=1e-9)
+        assert model.dual_coefs_.min() > 0.0
+        assert model.dual_coefs_.max() <= c_bound + 1e-12

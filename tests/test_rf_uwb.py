@@ -87,6 +87,18 @@ def test_trojan_modulates_key_zero_pulses(tx):
     np.testing.assert_allclose(ratio[key == 0], 1.1)
 
 
+def test_analog_quantities_are_cached(tx):
+    # Both quantities are pure functions of frozen process parameters and
+    # are read once per transmitted block; the transmitter memoizes them.
+    assert tx.output_amplitude() == tx.output_amplitude()
+    assert tx._amplitude is not None
+    tx._amplitude = 123.0  # poke the cache to prove reads come from it
+    assert tx.output_amplitude() == 123.0
+    assert tx.center_frequency_ghz() == tx.center_frequency_ghz()
+    tx._frequency_ghz = 4.5
+    assert tx.center_frequency_ghz() == 4.5
+
+
 def test_clean_transmission_is_uniform(tx):
     train = tx.transmit(np.ones(16, dtype=int))
     assert np.ptp(train.amplitudes) == 0.0

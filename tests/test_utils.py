@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.utils.rng import as_generator, spawn_children
+from repro.utils.rng import (
+    as_generator,
+    spawn_children,
+    spawn_seed_sequences,
+    structure_entropy,
+)
 from repro.utils.validation import (
     check_1d,
     check_2d,
@@ -41,6 +46,34 @@ class TestRng:
     def test_spawn_children_rejects_negative_count(self):
         with pytest.raises(ValueError):
             spawn_children(0, -1)
+
+    def test_spawn_seed_sequences_deterministic_and_prefix_stable(self):
+        long = spawn_seed_sequences(9, 8)
+        short = spawn_seed_sequences(9, 3)
+        # Prefix stability: asking for more children never changes the
+        # first ones, so a grown population keeps its existing devices.
+        for a, b in zip(short, long):
+            assert np.random.default_rng(a).integers(0, 1 << 30) == \
+                np.random.default_rng(b).integers(0, 1 << 30)
+        draws = [int(np.random.default_rng(s).integers(0, 1 << 30)) for s in long]
+        assert len(set(draws)) == len(draws)
+
+    def test_spawn_seed_sequences_from_generator_and_sequence(self):
+        from_gen = spawn_seed_sequences(np.random.default_rng(4), 3)
+        again = spawn_seed_sequences(np.random.default_rng(4), 3)
+        assert [s.entropy for s in from_gen] == [s.entropy for s in again]
+        from_seq = spawn_seed_sequences(np.random.SeedSequence(4), 2)
+        assert all(isinstance(s, np.random.SeedSequence) for s in from_seq)
+        with pytest.raises(ValueError):
+            spawn_seed_sequences(0, -1)
+
+    def test_structure_entropy_matches_utf8_bytes(self):
+        name = "ring-oscillator-31"
+        expected = tuple(np.frombuffer(name.encode("utf-8"), dtype=np.uint8).tolist())
+        assert structure_entropy(name) == expected
+        # Memoized: the same name returns the identical tuple object.
+        assert structure_entropy(name) is structure_entropy(name)
+        assert structure_entropy("pcm") != structure_entropy("pa")
 
 
 class TestValidation:

@@ -1,0 +1,80 @@
+"""Deterministic parallel executor: worker resolution, ordering, fallback.
+
+The box running the test suite may have a single CPU, so every test that
+needs a real process pool injects ``cpu_count`` instead of relying on the
+machine size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.utils.parallel import parallel_map, resolve_n_jobs
+
+
+def _square(x):
+    """Module-level so it survives pickling into pool workers."""
+    return x * x
+
+
+def _draw(seed):
+    """One deterministic draw per pre-assigned seed (the intended usage)."""
+    return float(np.random.default_rng(seed).standard_normal())
+
+
+def _boom(x):
+    raise RuntimeError(f"work failed on {x}")
+
+
+class TestResolveNJobs:
+    def test_none_and_zero_mean_serial(self):
+        assert resolve_n_jobs(None, cpu_count=8) == 1
+        assert resolve_n_jobs(0, cpu_count=8) == 1
+
+    def test_positive_clamped_to_cpu_count(self):
+        assert resolve_n_jobs(4, cpu_count=8) == 4
+        assert resolve_n_jobs(16, cpu_count=8) == 8
+        assert resolve_n_jobs(4, cpu_count=1) == 1
+
+    def test_negative_counts_back_from_machine_size(self):
+        # joblib convention: -1 = all cores, -2 = all but one.
+        assert resolve_n_jobs(-1, cpu_count=8) == 8
+        assert resolve_n_jobs(-2, cpu_count=8) == 7
+        assert resolve_n_jobs(-100, cpu_count=8) == 1
+
+    def test_defaults_to_machine_cpu_count(self):
+        assert resolve_n_jobs(-1) >= 1
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [1, 2, 3], n_jobs=1) == [1, 4, 9]
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], n_jobs=4, cpu_count=4) == []
+
+    def test_pool_results_stay_in_item_order(self):
+        items = list(range(40))
+        assert parallel_map(_square, items, n_jobs=4, cpu_count=4) == [
+            x * x for x in items
+        ]
+
+    def test_pool_matches_serial_on_preseeded_streams(self):
+        seeds = np.random.SeedSequence(7).spawn(10)
+        serial = parallel_map(_draw, seeds, n_jobs=1)
+        pooled = parallel_map(_draw, seeds, n_jobs=3, cpu_count=3)
+        assert pooled == serial
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        offset = 10
+        closure = lambda x: x + offset  # noqa: E731 - deliberately unpicklable
+        assert parallel_map(closure, [1, 2, 3], n_jobs=2, cpu_count=2) == [11, 12, 13]
+
+    def test_work_errors_propagate(self):
+        with pytest.raises(RuntimeError, match="work failed"):
+            parallel_map(_boom, [1], n_jobs=1)
+        with pytest.raises(RuntimeError, match="work failed"):
+            parallel_map(_boom, [1, 2, 3, 4], n_jobs=2, cpu_count=2)
+
+    def test_workers_never_exceed_items(self):
+        # Two items on a "16-core" machine must still give two results.
+        assert parallel_map(_square, [5, 6], n_jobs=16, cpu_count=16) == [25, 36]
