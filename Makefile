@@ -1,10 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-baseline table1
+.PHONY: test bench bench-baseline table1 smoke-obs
 
 test:
 	$(PYTHON) -m pytest -q
+
+# Observability smoke test: run table1 --trace on a small fixture and
+# assert the manifest validates against the checked-in JSON schema.
+# The same file runs as part of `make test` (it lives in tests/).
+smoke-obs:
+	$(PYTHON) -m pytest -q tests/test_obs_smoke.py
 
 # Regression gate: fail when any component is >20% slower than the
 # committed baseline (benchmarks/BENCH_components.json).

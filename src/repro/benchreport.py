@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Callable, Dict, List, Optional
@@ -130,6 +131,48 @@ def compare_reports(current: dict, baseline: dict, threshold: float = 0.20) -> L
     return failures
 
 
+def write_run_artifacts(report: dict, run_dir: str, argv: List[str]) -> str:
+    """Persist a bench run through the observability sink + manifest.
+
+    Emits one ``{"event": "bench", "component": ..., "seconds": ...}`` JSONL
+    record per component to ``<run_dir>/events.jsonl`` — the same stream
+    format traced pipeline runs use for their spans — and a run manifest
+    whose ``results`` block holds the timing report.  Returns the manifest
+    path.
+    """
+    from repro.obs.manifest import (
+        RunManifest,
+        collect_environment,
+        git_revision,
+        new_run_id,
+        write_manifest,
+    )
+    from repro.obs.sink import JsonlSink
+
+    run_id = os.path.basename(os.path.normpath(run_dir)) or new_run_id()
+    os.makedirs(run_dir, exist_ok=True)
+    with JsonlSink(os.path.join(run_dir, "events.jsonl")) as sink:
+        for component, seconds in report["results"].items():
+            sink.emit({
+                "event": "bench",
+                "run_id": run_id,
+                "component": component,
+                "seconds": seconds,
+                "n_jobs": report["n_jobs"],
+            })
+    manifest = RunManifest(
+        run_id=run_id,
+        command="bench",
+        created=time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime()),
+        argv=list(argv),
+        environment=collect_environment(),
+        git=git_revision(),
+        config={"n_jobs": report["n_jobs"], "schema": report["schema"]},
+        results=report["results"],
+    )
+    return write_manifest(manifest, run_dir)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point for the benchmark report / regression gate."""
     parser = argparse.ArgumentParser(description=__doc__,
@@ -150,9 +193,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--jobs", type=int, default=1,
         help="worker processes for the parallel-capable components",
     )
+    parser.add_argument(
+        "--run-dir", type=str, default=None,
+        help="also write events.jsonl + manifest.json for this bench run "
+             "(same sink format as traced pipeline runs)",
+    )
     args = parser.parse_args(argv)
+    argv_record = list(sys.argv[1:]) if argv is None else list(argv)
 
     report = run_report(n_jobs=args.jobs)
+
+    if args.run_dir:
+        manifest_path = write_run_artifacts(report, args.run_dir, argv_record)
+        print(f"wrote {manifest_path}")
 
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

@@ -16,6 +16,8 @@ from typing import Dict
 import numpy as np
 
 from repro.circuits.spicemodel import SpiceDeck
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.process.parameters import ProcessParameters
 from repro.utils.parallel import parallel_map
 from repro.utils.rng import SeedLike, as_generator, spawn_seed_sequences, structure_entropy
@@ -124,30 +126,39 @@ class MonteCarloEngine:
         """
         if n <= 0:
             raise ValueError(f"n must be positive, got {n}")
-        device_root, noise_root = spawn_seed_sequences(seed, 2)
-        worker = functools.partial(_simulate_device, self.deck, self.campaign)
-        rows = parallel_map(worker, list(enumerate(device_root.spawn(n))), n_jobs=n_jobs)
-        pcms = np.stack([row[0] for row in rows])
-        fingerprints = np.stack([row[1] for row in rows])
-        if self.numerical_noise > 0:
-            noise_rng = np.random.default_rng(noise_root)
-            pcms = pcms * (1.0 + self.numerical_noise * noise_rng.standard_normal(pcms.shape))
-            fingerprints = fingerprints * (
-                1.0 + self.numerical_noise * noise_rng.standard_normal(fingerprints.shape)
+        with span("mc.run", n=n, n_jobs=n_jobs):
+            device_root, noise_root = spawn_seed_sequences(seed, 2)
+            worker = functools.partial(_simulate_device, self.deck, self.campaign)
+            rows = parallel_map(
+                worker, list(enumerate(device_root.spawn(n))), n_jobs=n_jobs
             )
+            pcms = np.stack([row[0] for row in rows])
+            fingerprints = np.stack([row[1] for row in rows])
+            if self.numerical_noise > 0:
+                noise_rng = np.random.default_rng(noise_root)
+                pcms = pcms * (
+                    1.0 + self.numerical_noise * noise_rng.standard_normal(pcms.shape)
+                )
+                fingerprints = fingerprints * (
+                    1.0
+                    + self.numerical_noise
+                    * noise_rng.standard_normal(fingerprints.shape)
+                )
         return MonteCarloResult(pcms=pcms, fingerprints=fingerprints)
 
 
 def _simulate_device(deck: SpiceDeck, campaign, item):
     """Simulate + measure one device from its pre-spawned seed (picklable)."""
     index, seed = item
-    rng = np.random.default_rng(seed)
-    die_params = deck.sample_die(rng)
-    die = SimulatedDie(
-        index=index,
-        die_params=die_params,
-        deck=deck,
-        mismatch_seed=int(rng.integers(0, 2**63 - 1)),
-    )
-    device = campaign.measure_device(die, trojan=None, version="TF")
+    with span("mc.device", index=index):
+        rng = np.random.default_rng(seed)
+        die_params = deck.sample_die(rng)
+        die = SimulatedDie(
+            index=index,
+            die_params=die_params,
+            deck=deck,
+            mismatch_seed=int(rng.integers(0, 2**63 - 1)),
+        )
+        device = campaign.measure_device(die, trojan=None, version="TF")
+    obs_metrics.counter("mc.devices_simulated").inc()
     return device.pcms, device.fingerprint

@@ -7,14 +7,23 @@ figure4    reproduce the Figure 4 geometry summary
 audit      screen a device population and print the audit sheet
 generate   synthesize an experiment and save it to .npz
 ablation   run one of the ablation studies (A1/A2/A5/A7)
+report     pretty-print the manifest of a traced run
+
+Every experiment command accepts ``--trace`` (record spans + metrics and
+write ``<run-dir>/manifest.json`` + ``events.jsonl``), ``--run-dir``
+(defaults to ``runs/<run-id>``) and ``--log-level``.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import os
 import sys
+import time
 from typing import List, Optional
 
+from repro import obs
 from repro.core.config import DetectorConfig
 from repro.core.io import load_experiment_data, save_experiment_data
 from repro.core.pipeline import GoldenChipFreeDetector
@@ -38,6 +47,25 @@ ABLATIONS = {
 }
 
 
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by every experiment command."""
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record spans + metrics and write a run manifest "
+             "(results are bit-identical with tracing on or off)",
+    )
+    parser.add_argument(
+        "--run-dir", type=str, default=None,
+        help="directory for manifest.json + events.jsonl "
+             "(default: runs/<run-id>; implies nothing without --trace)",
+    )
+    parser.add_argument(
+        "--log-level", type=str, default="warning",
+        choices=["debug", "info", "warning", "error"],
+        help="logging verbosity of the repro.* loggers",
+    )
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=16, help="experiment seed")
     parser.add_argument("--chips", type=int, default=40, help="fabricated chips")
@@ -53,6 +81,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="worker processes for simulation and boundary fits "
              "(results are bit-identical for any value; -1 = all cores)",
     )
+    _add_obs(parser)
 
 
 def _resolve_data(args):
@@ -71,6 +100,13 @@ def _cmd_table1(args) -> int:
     result = run_table1(detector_config=_detector_config(args), data=_resolve_data(args))
     print(result.format())
     print(f"\nmatches paper shape: {result.matches_paper_shape()}")
+    args._results = {
+        "boundaries": {
+            name: {"fp_count": metric.fp_count, "fn_count": metric.fn_count}
+            for name, metric in result.metrics.items()
+        },
+        "matches_paper_shape": result.matches_paper_shape(),
+    }
     return 0
 
 
@@ -88,6 +124,11 @@ def _cmd_audit(args) -> int:
     verdicts = detector.classify(data.dutt_fingerprints, boundary=args.boundary)
     flagged = int((~verdicts).sum())
     print(f"boundary {args.boundary}: flagged {flagged} of {data.n_devices} devices")
+    args._results = {
+        "boundary": args.boundary,
+        "flagged": flagged,
+        "n_devices": data.n_devices,
+    }
     if data.infested is not None:
         print()
         print(format_table1(detector.evaluate(data.dutt_fingerprints, data.infested)))
@@ -101,6 +142,11 @@ def _cmd_generate(args) -> int:
     path = save_experiment_data(data, args.output)
     print(f"wrote {data.n_devices} DUTTs + {data.sim_fingerprints.shape[0]} "
           f"simulated devices to {path}")
+    args._results = {
+        "output": str(path),
+        "n_dutts": data.n_devices,
+        "n_simulated": int(data.sim_fingerprints.shape[0]),
+    }
     return 0
 
 
@@ -111,6 +157,25 @@ def _cmd_ablation(args) -> int:
         base_config=_detector_config(args),
     )
     print(format_rows(rows, title))
+    return 0
+
+
+def _resolve_run_path(run: str) -> str:
+    """Map a run id / run directory / manifest path onto an existing path."""
+    if os.path.exists(run):
+        return run
+    candidate = os.path.join("runs", run)
+    if os.path.exists(candidate):
+        return candidate
+    raise SystemExit(f"no run found at {run!r} (also tried {candidate!r})")
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.manifest import load_manifest
+    from repro.obs.report import render_report
+
+    manifest = load_manifest(_resolve_run_path(args.run))
+    print(render_report(manifest))
     return 0
 
 
@@ -137,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=16)
     generate.add_argument("--chips", type=int, default=40)
     generate.add_argument("--jobs", type=int, default=1)
+    _add_obs(generate)
     generate.set_defaults(handler=_cmd_generate)
 
     ablation = commands.add_parser("ablation", help="run one ablation study")
@@ -144,13 +210,86 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(ablation)
     ablation.set_defaults(handler=_cmd_ablation)
 
+    report = commands.add_parser("report", help="pretty-print a traced run")
+    report.add_argument(
+        "run",
+        help="run id under runs/, a run directory, or a manifest.json path",
+    )
+    report.set_defaults(handler=_cmd_report)
+
     return parser
+
+
+def _run_config(args) -> dict:
+    """The JSON-ready configuration recorded in the manifest."""
+    skip = {"handler", "command", "trace", "run_dir", "log_level"}
+    config = {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key not in skip and not key.startswith("_")
+    }
+    if hasattr(args, "kde_samples"):
+        config["detector"] = dataclasses.asdict(_detector_config(args))
+    return config
+
+
+def _run_traced(args, argv: List[str]) -> int:
+    """Run one command under tracing and write its run manifest."""
+    from repro.obs.manifest import (
+        RunManifest,
+        collect_environment,
+        git_revision,
+        new_run_id,
+        write_manifest,
+    )
+    from repro.obs.sink import JsonlSink, write_span_events
+    from repro.obs.trace import span
+
+    run_dir = args.run_dir or os.path.join("runs", new_run_id())
+    run_id = os.path.basename(os.path.normpath(run_dir))
+    created = time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime())
+    obs.enable()
+    try:
+        with span(args.command):
+            status = args.handler(args)
+    finally:
+        spans, snapshot = obs.disable()
+
+    manifest = RunManifest(
+        run_id=run_id,
+        command=args.command,
+        created=created,
+        argv=list(argv),
+        environment=collect_environment(),
+        git=git_revision(),
+        config=_run_config(args),
+        seeds={"experiment": args.seed} if hasattr(args, "seed") else {},
+        metrics=snapshot,
+        spans=[entry.to_dict() for entry in spans],
+        results=getattr(args, "_results", None),
+    )
+    path = write_manifest(manifest, run_dir)
+    with JsonlSink(os.path.join(run_dir, "events.jsonl")) as sink:
+        write_span_events(sink, spans, run_id=run_id)
+    print(f"run manifest: {path}", file=sys.stderr)
+    print(f"inspect with: python -m repro.cli report {run_dir}", file=sys.stderr)
+    return status
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    obs.setup_logging(getattr(args, "log_level", "warning"))
+    try:
+        if getattr(args, "trace", False):
+            return _run_traced(args, argv)
+        return args.handler(args)
+    except BrokenPipeError:
+        # The stdout consumer (head, less, ...) went away mid-report; point
+        # stdout at devnull so the interpreter's shutdown flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.learn.elliptic import EllipticEnvelope
 from repro.learn.ocsvm import OneClassSvm
+from repro.obs.trace import span
 from repro.stats.preprocessing import Whitener
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_2d
@@ -86,11 +87,15 @@ class TrustedRegion:
     def fit(self, population) -> "TrustedRegion":
         """Learn the boundary enclosing a golden fingerprint ``population``."""
         population = check_2d(population, "population")
-        self.n_training_samples_ = population.shape[0]
-        floor_sigma = self.noise_floor_rel * float(np.mean(np.abs(population)))
-        self._whitener = Whitener(floor_ratio=self.floor_ratio, floor_sigma=floor_sigma)
-        whitened = self._whitener.fit_transform(population)
-        self._learner.fit(whitened)
+        with span("boundary.fit", boundary=self.name, method=self.method,
+                  n=int(population.shape[0])):
+            self.n_training_samples_ = population.shape[0]
+            floor_sigma = self.noise_floor_rel * float(np.mean(np.abs(population)))
+            self._whitener = Whitener(
+                floor_ratio=self.floor_ratio, floor_sigma=floor_sigma
+            )
+            whitened = self._whitener.fit_transform(population)
+            self._learner.fit(whitened)
         return self
 
     def _check_fitted(self):

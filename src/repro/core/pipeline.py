@@ -32,6 +32,8 @@ from repro.core.datasets import (
     train_regressions,
 )
 from repro.core.metrics import DetectionMetrics, evaluate_detection
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.utils.parallel import parallel_map
 from repro.utils.rng import spawn_children
 from repro.utils.validation import check_2d
@@ -78,14 +80,19 @@ class GoldenChipFreeDetector:
         """Learn regressions and the simulation-only boundaries B1/B2."""
         sim_pcms = check_2d(sim_pcms, "sim_pcms")
         sim_fingerprints = check_2d(sim_fingerprints, "sim_fingerprints")
-        self._sim_pcms = sim_pcms
-        self.regressions_ = train_regressions(sim_pcms, sim_fingerprints, self.config)
+        with span("pipeline.fit_premanufacturing", n_sim=int(sim_pcms.shape[0])):
+            self._sim_pcms = sim_pcms
+            with span("regression.train", mode=self.config.regression_mode):
+                self.regressions_ = train_regressions(
+                    sim_pcms, sim_fingerprints, self.config
+                )
 
-        self.datasets.sets["S1"] = build_s1(sim_fingerprints)
-        self.datasets.sets["S2"] = tail_enhance(
-            self.datasets["S1"], self.config, rng=self._rngs[0]
-        )
-        self._fit_boundaries({"B1": "S1", "B2": "S2"})
+            self.datasets.sets["S1"] = build_s1(sim_fingerprints)
+            with span("dataset.build", dataset="S2"):
+                self.datasets.sets["S2"] = tail_enhance(
+                    self.datasets["S1"], self.config, rng=self._rngs[0]
+                )
+            self._fit_boundaries({"B1": "S1", "B2": "S2"})
         return self
 
     # ------------------------------------------------------------------
@@ -103,14 +110,19 @@ class GoldenChipFreeDetector:
                 f"simulation had {self._sim_pcms.shape[1]}"
             )
 
-        self.datasets.sets["S3"] = build_s3(self.regressions_, dutt_pcms)
-        self.datasets.sets["S4"] = build_s4(
-            self.regressions_, self._sim_pcms, dutt_pcms, self.config, rng=self._rngs[1]
-        )
-        self.datasets.sets["S5"] = tail_enhance(
-            self.datasets["S4"], self.config, rng=self._rngs[2]
-        )
-        self._fit_boundaries({"B3": "S3", "B4": "S4", "B5": "S5"})
+        with span("pipeline.fit_silicon", n_dutt=int(dutt_pcms.shape[0])):
+            with span("dataset.build", dataset="S3"):
+                self.datasets.sets["S3"] = build_s3(self.regressions_, dutt_pcms)
+            with span("dataset.build", dataset="S4"):
+                self.datasets.sets["S4"] = build_s4(
+                    self.regressions_, self._sim_pcms, dutt_pcms, self.config,
+                    rng=self._rngs[1],
+                )
+            with span("dataset.build", dataset="S5"):
+                self.datasets.sets["S5"] = tail_enhance(
+                    self.datasets["S4"], self.config, rng=self._rngs[2]
+                )
+            self._fit_boundaries({"B3": "S3", "B4": "S4", "B5": "S5"})
         return self
 
     def _new_region(self, name: str) -> TrustedRegion:
@@ -133,7 +145,9 @@ class GoldenChipFreeDetector:
         """
         pairs = [(self._new_region(name), self.datasets[dataset])
                  for name, dataset in mapping.items()]
-        fitted = parallel_map(_fit_region, pairs, n_jobs=self.config.n_jobs)
+        with span("pipeline.fit_boundaries", boundaries=",".join(mapping),
+                  n_jobs=self.config.n_jobs):
+            fitted = parallel_map(_fit_region, pairs, n_jobs=self.config.n_jobs)
         for name, region in zip(mapping, fitted):
             self.boundaries[name] = region
 
@@ -154,8 +168,15 @@ class GoldenChipFreeDetector:
         """FP/FN of every trained boundary over a labelled DUTT population."""
         fingerprints = check_2d(fingerprints, "fingerprints")
         results = {}
-        for name in BOUNDARY_NAMES:
-            if name in self.boundaries:
-                predictions = self.classify(fingerprints, boundary=name)
-                results[name] = evaluate_detection(predictions, infested)
+        with span("pipeline.evaluate", n_devices=int(fingerprints.shape[0])):
+            for name in BOUNDARY_NAMES:
+                if name in self.boundaries:
+                    predictions = self.classify(fingerprints, boundary=name)
+                    results[name] = evaluate_detection(predictions, infested)
+                    obs_metrics.gauge(f"detect.{name}.fp_count").set(
+                        results[name].fp_count
+                    )
+                    obs_metrics.gauge(f"detect.{name}.fn_count").set(
+                        results[name].fn_count
+                    )
         return results

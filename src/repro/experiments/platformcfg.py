@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.circuits.montecarlo import MonteCarloEngine
 from repro.circuits.spicemodel import SpiceDeck, default_spice_deck
+from repro.obs.trace import span
 from repro.process.parameters import OperatingPointShift
 from repro.silicon.foundry import Foundry
 from repro.silicon.pcm import PCMSuite
@@ -176,45 +177,48 @@ def build_foundry(config: PlatformConfig, deck: SpiceDeck, seed) -> Foundry:
 def generate_experiment_data(config: Optional[PlatformConfig] = None) -> ExperimentData:
     """Run the full synthetic experiment and return all measurements."""
     config = config or PlatformConfig()
-    rng_campaign, rng_mc, rng_foundry, rng_bench = spawn_children(config.seed, 4)
+    with span("platform.generate_data", n_chips=config.n_chips,
+              n_monte_carlo=config.n_monte_carlo, seed=config.seed):
+        rng_campaign, rng_mc, rng_foundry, rng_bench = spawn_children(config.seed, 4)
 
-    suite_name = config.pcm_suite_name
-    if config.extended_pcms and suite_name == "paper":
-        suite_name = "extended"
-    pcm_suite = {
-        "paper": PCMSuite.paper_default,
-        "extended": PCMSuite.extended,
-        "full": PCMSuite.full,
-    }[suite_name]()
-    deck = build_deck(config)
+        suite_name = config.pcm_suite_name
+        if config.extended_pcms and suite_name == "paper":
+            suite_name = "extended"
+        pcm_suite = {
+            "paper": PCMSuite.paper_default,
+            "extended": PCMSuite.extended,
+            "full": PCMSuite.full,
+        }[suite_name]()
+        deck = build_deck(config)
 
-    # ---- pre-manufacturing: Monte Carlo over the deck.  The simulator has
-    # no bench instruments, but post-layout MC output carries numerical /
-    # extraction jitter; modelled as small multiplicative noise. ----
-    sim_campaign = FingerprintCampaign.random_stimuli(
-        nm=config.nm, seed=rng_campaign, noisy_bench=False, pcm_suite=pcm_suite
-    )
-    engine = MonteCarloEngine(deck, sim_campaign, numerical_noise=config.sim_noise)
-    mc = engine.run(config.n_monte_carlo, seed=rng_mc, n_jobs=config.n_jobs)
-
-    # ---- fabrication at the drifted operating point ----
-    foundry = build_foundry(config, deck, seed=rng_foundry)
-    dies = foundry.fabricate(config.n_chips, n_lots=config.n_lots)
-
-    # ---- silicon bench: same stimuli, noisy instruments ----
-    bench = sim_campaign.silicon_bench(seed=rng_bench, pcm_noise=config.pcm_noise)
-    trojans = [
-        (None, "TF"),
-        (AmplitudeModulationTrojan(depth=config.trojan1_depth), "T1"),
-        (FrequencyModulationTrojan(depth=config.trojan2_depth), "T2"),
-    ]
-    devices = []
-    for trojan, version in trojans:
-        devices.extend(
-            bench.measure_population(
-                dies, trojan=trojan, version=version, n_jobs=config.n_jobs
-            )
+        # ---- pre-manufacturing: Monte Carlo over the deck.  The simulator
+        # has no bench instruments, but post-layout MC output carries
+        # numerical / extraction jitter; modelled as small multiplicative
+        # noise. ----
+        sim_campaign = FingerprintCampaign.random_stimuli(
+            nm=config.nm, seed=rng_campaign, noisy_bench=False, pcm_suite=pcm_suite
         )
+        engine = MonteCarloEngine(deck, sim_campaign, numerical_noise=config.sim_noise)
+        mc = engine.run(config.n_monte_carlo, seed=rng_mc, n_jobs=config.n_jobs)
+
+        # ---- fabrication at the drifted operating point ----
+        foundry = build_foundry(config, deck, seed=rng_foundry)
+        dies = foundry.fabricate(config.n_chips, n_lots=config.n_lots)
+
+        # ---- silicon bench: same stimuli, noisy instruments ----
+        bench = sim_campaign.silicon_bench(seed=rng_bench, pcm_noise=config.pcm_noise)
+        trojans = [
+            (None, "TF"),
+            (AmplitudeModulationTrojan(depth=config.trojan1_depth), "T1"),
+            (FrequencyModulationTrojan(depth=config.trojan2_depth), "T2"),
+        ]
+        devices = []
+        for trojan, version in trojans:
+            devices.extend(
+                bench.measure_population(
+                    dies, trojan=trojan, version=version, n_jobs=config.n_jobs
+                )
+            )
 
     return ExperimentData(
         sim_pcms=mc.pcms,

@@ -27,6 +27,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.utils.validation import check_1d, check_2d, check_matching_rows
 
 
@@ -117,26 +119,31 @@ class MarsRegression:
         check_matching_rows(x, y[:, None], "x", "y")
         n, d = x.shape
 
-        knots = self._candidate_knots(x)
-        basis: List[BasisFunction] = [BasisFunction()]
-        design = np.ones((n, 1))
+        with span("mars.fit", n=n, d=d) as fit_span:
+            knots = self._candidate_knots(x)
+            basis: List[BasisFunction] = [BasisFunction()]
+            design = np.ones((n, 1))
 
-        # ---------------- forward pass ----------------
-        current_sse = self._fit_sse(design, y)[1]
-        while len(basis) + 2 <= self.max_terms:
-            best = self._best_forward_pair(x, y, basis, design, knots, current_sse)
-            if best is None:
-                break
-            pair, columns, sse = best
-            basis.extend(pair)
-            design = np.hstack([design, columns])
-            current_sse = sse
+            # ---------------- forward pass ----------------
+            current_sse = self._fit_sse(design, y)[1]
+            while len(basis) + 2 <= self.max_terms:
+                best = self._best_forward_pair(x, y, basis, design, knots, current_sse)
+                if best is None:
+                    break
+                pair, columns, sse = best
+                basis.extend(pair)
+                design = np.hstack([design, columns])
+                current_sse = sse
 
-        # ---------------- backward pass ----------------
-        best_basis, best_coef, best_gcv = self._prune(design, y, basis)
-        self.basis_ = best_basis
-        self.coef_ = best_coef
-        self.gcv_ = best_gcv
+            # ---------------- backward pass ----------------
+            best_basis, best_coef, best_gcv = self._prune(design, y, basis)
+            self.basis_ = best_basis
+            self.coef_ = best_coef
+            self.gcv_ = best_gcv
+            fit_span.set(forward_terms=len(basis), retained_terms=len(best_basis),
+                         gcv=float(best_gcv))
+        obs_metrics.histogram("mars.basis_functions").observe(len(self.basis_))
+        obs_metrics.histogram("mars.gcv").observe(float(self.gcv_))
         return self
 
     def _candidate_knots(self, x: np.ndarray) -> List[np.ndarray]:

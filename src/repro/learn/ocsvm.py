@@ -21,6 +21,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.stats.kernels import (
     median_heuristic_gamma_from_sq,
     pairwise_sq_dists,
@@ -29,6 +31,14 @@ from repro.stats.kernels import (
 )
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_2d, check_probability
+
+#: Numerical slack around the decision boundary ``f(x) = 0``.  The dual is
+#: only solved to ``tol`` (1e-6), so distinctions at this scale carry no
+#: information: dual weights below it are treated as zero when extracting
+#: support vectors, and :meth:`OneClassSvm.predict_inside` counts points
+#: within it of the boundary as inside.  Referenced everywhere instead of a
+#: repeated literal so the two uses cannot drift apart.
+BOUNDARY_TOL = 1e-12
 
 
 class OneClassSvm:
@@ -86,6 +96,21 @@ class OneClassSvm:
     def fit(self, data) -> "OneClassSvm":
         """Learn the trusted boundary from an ``(n, d)`` inlier sample."""
         data = check_2d(data, "data")
+        with span("ocsvm.fit", n=int(min(data.shape[0], self.max_training_samples)),
+                  nu=self.nu) as fit_span:
+            self._fit(data)
+            fit_span.set(
+                iterations=self.n_iterations_,
+                support_vectors=int(self.support_vectors_.shape[0]),
+                gamma=self.effective_gamma_,
+            )
+        obs_metrics.histogram("ocsvm.iterations").observe(self.n_iterations_)
+        obs_metrics.histogram("ocsvm.support_vectors").observe(
+            self.support_vectors_.shape[0]
+        )
+        return self
+
+    def _fit(self, data) -> None:
         if data.shape[0] > self.max_training_samples:
             rng = as_generator(self.seed)
             idx = rng.choice(data.shape[0], size=self.max_training_samples, replace=False)
@@ -158,7 +183,7 @@ class OneClassSvm:
             down_penalty[j] = -np.inf if alpha[j] <= 1e-15 else 0.0
         self.n_iterations_ = iterations
 
-        support = alpha > 1e-12
+        support = alpha > BOUNDARY_TOL
         self.support_vectors_ = data[support]
         self.dual_coefs_ = alpha[support]
         self.effective_gamma_ = float(gamma)
@@ -168,7 +193,6 @@ class OneClassSvm:
         margin = support & (alpha < c_bound - 1e-9)
         reference = margin if margin.any() else support
         self.rho_ = float(np.mean(gradient[reference]))
-        return self
 
     def _check_fitted(self):
         if self.support_vectors_ is None:
@@ -188,12 +212,13 @@ class OneClassSvm:
     def predict_inside(self, points) -> np.ndarray:
         """Boolean array: True where a point falls inside the trusted region.
 
-        A point exactly on the boundary (f = 0) counts as inside; the tiny
-        slack absorbs summation-order noise between the solver's gradient
-        and the kernel evaluation here — the dual is only solved to ``tol``
-        (1e-6), so distinctions at the 1e-12 scale carry no information.
+        A point exactly on the boundary (f = 0) counts as inside; the
+        :data:`BOUNDARY_TOL` slack absorbs summation-order noise between the
+        solver's gradient and the kernel evaluation here — the dual is only
+        solved to ``tol`` (1e-6), so distinctions at the ``BOUNDARY_TOL``
+        scale carry no information.
         """
-        return self.decision_function(points) >= -1e-12
+        return self.decision_function(points) >= -BOUNDARY_TOL
 
     def training_inlier_fraction(self, data) -> float:
         """Fraction of ``data`` classified inside (diagnostics; ~1 - nu)."""

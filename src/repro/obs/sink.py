@@ -1,0 +1,92 @@
+"""JSONL event sink: one append-only stream per run.
+
+Every record is a single JSON object on its own line with an ``event``
+discriminator, so run telemetry (``span`` events from traced experiments)
+and bench history (``bench`` events from :mod:`repro.benchreport`) share one
+format and one toolchain — ``grep`` + ``json.loads`` is a complete reader.
+
+The sink opens its file lazily (a run that emits nothing creates nothing)
+and flushes per record: events are for post-mortems, and a crashed run's
+stream must contain everything up to the crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional
+
+from repro.obs.trace import Span
+
+__all__ = ["JsonlSink", "NullSink", "write_span_events", "read_events"]
+
+
+class JsonlSink:
+    """Appends JSON records, one per line, to ``path``."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = None
+
+    def emit(self, record: dict) -> None:
+        """Append one record (keys sorted for stable diffs)."""
+        if self._handle is None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True, default=str))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class NullSink:
+    """Drops every record (stand-in when no run directory is configured)."""
+
+    def emit(self, record: dict) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+def write_span_events(sink, spans: List[Span], run_id: Optional[str] = None) -> None:
+    """Emit one ``span`` event per finished span."""
+    for finished in spans:
+        record = {"event": "span", **finished.to_dict()}
+        if run_id is not None:
+            record["run_id"] = run_id
+        sink.emit(record)
+
+
+def read_events(path: str, event: Optional[str] = None) -> List[dict]:
+    """Load a JSONL stream, optionally filtered to one ``event`` kind."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if event is None or record.get("event") == event:
+                records.append(record)
+    return records

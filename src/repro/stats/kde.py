@@ -30,6 +30,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.stats.preprocessing import Whitener
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_2d, check_positive
@@ -93,10 +95,12 @@ def _sample_unit_epanechnikov(count: int, d: int, rng: np.random.Generator) -> n
     """
     out = np.empty((count, d))
     filled = 0
+    proposals = 0
     while filled < count:
         remaining = count - filled
         # Expected acceptance 2/(d+2); 1.2x head-room keeps iterations low.
         batch = max(64, int(remaining * (d + 2) / 2 * 1.2))
+        proposals += batch
         radii = rng.random(batch) ** (1.0 / d)
         keep = rng.random(batch) < (1.0 - radii**2)
         kept = radii[keep]
@@ -109,6 +113,10 @@ def _sample_unit_epanechnikov(count: int, d: int, rng: np.random.Generator) -> n
         directions *= (kept[:take] / norms)[:, None]
         out[filled:filled + take] = directions
         filled += take
+    if obs_metrics.enabled() and proposals:
+        obs_metrics.counter("kde.sampler.proposals").inc(proposals)
+        obs_metrics.counter("kde.sampler.accepted").inc(count)
+        obs_metrics.histogram("kde.sampler.acceptance_ratio").observe(count / proposals)
     return out
 
 
@@ -160,20 +168,23 @@ class EpanechnikovKde:
     def fit(self, data) -> "EpanechnikovKde":
         """Fit the estimate on an ``(M, d)`` sample matrix."""
         data = check_2d(data, "data")
-        if self.whiten:
-            self._whitener = Whitener(
-                floor_ratio=self.floor_ratio, floor_sigma=self.floor_sigma
-            ).fit(data)
-            self._points = self._whitener.transform(data)
-        else:
-            self._whitener = None
-            self._points = data.copy()
-        self._points_sq = np.einsum("ij,ij->i", self._points, self._points)
-        n, d = self._points.shape
-        if self.bandwidth is not None:
-            self._h = self.bandwidth
-        else:
-            self._h = self.bandwidth_scale * epanechnikov_bandwidth(n, d)
+        with span("kde.fit", n=int(data.shape[0]), d=int(data.shape[1])) as fit_span:
+            if self.whiten:
+                self._whitener = Whitener(
+                    floor_ratio=self.floor_ratio, floor_sigma=self.floor_sigma
+                ).fit(data)
+                self._points = self._whitener.transform(data)
+            else:
+                self._whitener = None
+                self._points = data.copy()
+            self._points_sq = np.einsum("ij,ij->i", self._points, self._points)
+            n, d = self._points.shape
+            if self.bandwidth is not None:
+                self._h = self.bandwidth
+            else:
+                self._h = self.bandwidth_scale * epanechnikov_bandwidth(n, d)
+            fit_span.set(bandwidth=self._h)
+        obs_metrics.histogram("kde.bandwidth").observe(self._h)
         return self
 
     def _check_fitted(self):
@@ -243,24 +254,26 @@ class EpanechnikovKde:
         """Estimated density f(m) at each row of ``points`` (original space)."""
         self._check_fitted()
         points = check_2d(points, "points")
-        working = self._to_working(points)
-        return self._density_working(working) * self._jacobian()
+        with span("kde.density", n=int(points.shape[0]), m=int(self._points.shape[0])):
+            working = self._to_working(points)
+            return self._density_working(working) * self._jacobian()
 
     def sample(self, size: int, rng: SeedLike = None) -> np.ndarray:
         """Draw ``size`` synthetic observations from the estimate."""
         self._check_fitted()
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
-        gen = as_generator(rng)
-        m, d = self._points.shape
-        centers = gen.integers(0, m, size=size)
-        offsets = _sample_unit_epanechnikov(size, d, gen)
-        offsets *= self._h
-        working = self._points[centers]
-        working += offsets
-        if self._whitener is not None:
-            return self._whitener.inverse_transform(working)
-        return working
+        with span("kde.sample", size=size, d=int(self._points.shape[1])):
+            gen = as_generator(rng)
+            m, d = self._points.shape
+            centers = gen.integers(0, m, size=size)
+            offsets = _sample_unit_epanechnikov(size, d, gen)
+            offsets *= self._h
+            working = self._points[centers]
+            working += offsets
+            if self._whitener is not None:
+                return self._whitener.inverse_transform(working)
+            return working
 
 
 class AdaptiveKde(EpanechnikovKde):
@@ -297,13 +310,18 @@ class AdaptiveKde(EpanechnikovKde):
 
     def fit(self, data) -> "AdaptiveKde":
         """Fit pilot estimate, then the local bandwidth factors (Eq. 8-9)."""
-        super().fit(data)
-        pilot = self._density_working(self._points)
-        # Guard against zero pilot density (isolated points with tiny h).
-        positive = np.clip(pilot, np.finfo(float).tiny, None)
-        log_g = float(np.mean(np.log(positive)))
-        g = math.exp(log_g)
-        self._lambdas = (positive / g) ** (-self.alpha)
+        with span("kde.fit_adaptive", alpha=self.alpha) as fit_span:
+            super().fit(data)
+            with span("kde.pilot_density", m=int(self._points.shape[0])):
+                pilot = self._density_working(self._points)
+            # Guard against zero pilot density (isolated points with tiny h).
+            positive = np.clip(pilot, np.finfo(float).tiny, None)
+            log_g = float(np.mean(np.log(positive)))
+            g = math.exp(log_g)
+            self._lambdas = (positive / g) ** (-self.alpha)
+            fit_span.set(lambda_min=float(self._lambdas.min()),
+                         lambda_max=float(self._lambdas.max()))
+        obs_metrics.histogram("kde.lambda_max").observe(float(self._lambdas.max()))
         return self
 
     @property
@@ -316,23 +334,30 @@ class AdaptiveKde(EpanechnikovKde):
         """Adaptive density estimate f_alpha(m) at each row of ``points``."""
         self._check_fitted()
         points = check_2d(points, "points")
-        working = self._to_working(points)
-        bandwidths = self._h * self._lambdas
-        return self._density_working(working, bandwidths=bandwidths) * self._jacobian()
+        with span("kde.density", n=int(points.shape[0]),
+                  m=int(self._points.shape[0]), adaptive=True):
+            working = self._to_working(points)
+            bandwidths = self._h * self._lambdas
+            return (
+                self._density_working(working, bandwidths=bandwidths)
+                * self._jacobian()
+            )
 
     def sample(self, size: int, rng: SeedLike = None) -> np.ndarray:
         """Draw ``size`` synthetic observations, honoring local bandwidths."""
         self._check_fitted()
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
-        gen = as_generator(rng)
-        m, d = self._points.shape
-        centers = gen.integers(0, m, size=size)
-        scales = (self._h * self._lambdas)[centers]
-        offsets = _sample_unit_epanechnikov(size, d, gen)
-        offsets *= scales[:, None]
-        working = self._points[centers]
-        working += offsets
-        if self._whitener is not None:
-            return self._whitener.inverse_transform(working)
-        return working
+        with span("kde.sample", size=size, d=int(self._points.shape[1]),
+                  adaptive=True):
+            gen = as_generator(rng)
+            m, d = self._points.shape
+            centers = gen.integers(0, m, size=size)
+            scales = (self._h * self._lambdas)[centers]
+            offsets = _sample_unit_epanechnikov(size, d, gen)
+            offsets *= scales[:, None]
+            working = self._points[centers]
+            working += offsets
+            if self._whitener is not None:
+                return self._whitener.inverse_transform(working)
+            return working

@@ -20,6 +20,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.stats.kernels import (
     median_heuristic_gamma_from_sq,
     pairwise_sq_dists,
@@ -58,6 +60,7 @@ class KernelMeanMatcher:
         self.gamma = gamma
         self.weights_: Optional[np.ndarray] = None
         self.converged_: bool = False
+        self.rkhs_residual_: Optional[float] = None
 
     def fit(self, train, test) -> "KernelMeanMatcher":
         """Compute importance weights for ``train`` so it matches ``test``.
@@ -74,42 +77,60 @@ class KernelMeanMatcher:
         n_tr = train.shape[0]
         n_te = test.shape[0]
 
-        # One pooled squared-distance pass serves the median-heuristic gamma,
-        # the train Gram matrix and the train-test cross kernel.
-        pooled = np.vstack([train, test])
-        sq = pairwise_sq_dists(pooled, pooled)
-        gamma = self.gamma
-        if gamma is None:
-            gamma = median_heuristic_gamma_from_sq(sq)
-        pooled_kernel = rbf_from_sq_dists(sq, gamma)  # consumes the sq buffer
+        with span("kmm.fit", n_train=n_tr, n_test=n_te) as fit_span:
+            # One pooled squared-distance pass serves the median-heuristic
+            # gamma, the train Gram matrix and the train-test cross kernel.
+            pooled = np.vstack([train, test])
+            sq = pairwise_sq_dists(pooled, pooled)
+            gamma = self.gamma
+            if gamma is None:
+                gamma = median_heuristic_gamma_from_sq(sq)
+            pooled_kernel = rbf_from_sq_dists(sq, gamma)  # consumes the sq buffer
 
-        K = pooled_kernel[:n_tr, :n_tr]
-        # Regularize the Gram diagonal slightly: keeps the QP strictly convex.
-        K = K + 1e-8 * np.eye(n_tr)
-        kappa = (n_tr / n_te) * pooled_kernel[:n_tr, n_tr:].sum(axis=1)
+            K = pooled_kernel[:n_tr, :n_tr]
+            test_kernel_sum = float(pooled_kernel[n_tr:, n_tr:].sum())
+            # Regularize the Gram diagonal slightly: keeps the QP strictly convex.
+            K = K + 1e-8 * np.eye(n_tr)
+            kappa = (n_tr / n_te) * pooled_kernel[:n_tr, n_tr:].sum(axis=1)
 
-        eps = self.eps
-        if eps is None:
-            eps = (np.sqrt(n_tr) - 1.0) / np.sqrt(n_tr)
+            eps = self.eps
+            if eps is None:
+                eps = (np.sqrt(n_tr) - 1.0) / np.sqrt(n_tr)
 
-        # | mean(beta) - 1 | <= eps  as two inequality rows.
-        ones = np.ones((1, n_tr)) / n_tr
-        G = np.vstack([ones, -ones])
-        h = np.array([1.0 + eps, -(1.0 - eps)])
+            # | mean(beta) - 1 | <= eps  as two inequality rows.
+            ones = np.ones((1, n_tr)) / n_tr
+            G = np.vstack([ones, -ones])
+            h = np.array([1.0 + eps, -(1.0 - eps)])
 
-        result = solve_qp(
-            P=K,
-            q=-kappa,
-            lb=0.0,
-            ub=self.B,
-            G=G,
-            h=h,
-            x0=np.ones(n_tr),
-            max_iterations=500,
+            result = solve_qp(
+                P=K,
+                q=-kappa,
+                lb=0.0,
+                ub=self.B,
+                G=G,
+                h=h,
+                x0=np.ones(n_tr),
+                max_iterations=500,
+            )
+            self.weights_ = np.clip(result.x, 0.0, self.B)
+            self.converged_ = result.converged
+            self.effective_gamma_ = float(gamma)
+            # The achieved RKHS mean discrepancy (the quantity KMM minimizes):
+            # ||(1/n_tr) sum beta_i phi(x_i) - (1/n_te) sum phi(x_j)||.  The QP
+            # objective is 0.5 b'Kb - kappa'b, so the residual reconstructs as
+            # sqrt(2*objective/n_tr^2 + sum K_test / n_te^2) — a model-fit
+            # diagnostic the solver's convergence flag alone cannot give.
+            residual_sq = (
+                2.0 * result.objective / n_tr**2 + test_kernel_sum / n_te**2
+            )
+            self.rkhs_residual_ = float(np.sqrt(max(0.0, residual_sq)))
+            fit_span.set(converged=result.converged, gamma=self.effective_gamma_,
+                         residual=self.rkhs_residual_)
+        obs_metrics.gauge("kmm.converged").set(1.0 if self.converged_ else 0.0)
+        obs_metrics.histogram("kmm.rkhs_residual").observe(self.rkhs_residual_)
+        obs_metrics.histogram("kmm.effective_sample_size").observe(
+            self.effective_sample_size()
         )
-        self.weights_ = np.clip(result.x, 0.0, self.B)
-        self.converged_ = result.converged
-        self.effective_gamma_ = float(gamma)
         return self
 
     @property

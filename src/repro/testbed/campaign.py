@@ -22,6 +22,8 @@ from typing import List, Optional
 import numpy as np
 
 from repro.crypto.bits import random_block, random_key
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.rf.channel import AwgnChannel
 from repro.rf.receiver import BandPassReceiver
 from repro.silicon.instruments import DelayAnalyzer, PowerMeter
@@ -196,13 +198,15 @@ class FingerprintCampaign:
         """Measure one design version on one die: PCMs + fingerprint."""
         chip = WirelessCryptoChip(die=die, key=self.key, trojan=trojan, version=version)
         label = getattr(die, "label", lambda: "die")()
-        return MeasuredDevice(
+        device = MeasuredDevice(
             label=f"{label}/{version}",
             pcms=self.pcm_vector(die),
             fingerprint=self.fingerprint(chip),
             infested=trojan is not None,
             trojan_name=trojan.name if trojan is not None else "none",
         )
+        obs_metrics.counter("campaign.devices_measured").inc()
+        return device
 
     def measure_population(
         self,
@@ -221,16 +225,23 @@ class FingerprintCampaign:
         always measured serially.
         """
         dies = list(dies)
-        if self.instrument_root is not None:
-            # Stateful spawn: consecutive populations (TF, T1, T2 sweeps) get
-            # fresh, non-overlapping per-device seeds in call order.
-            seeds = self.instrument_root.spawn(len(dies))
-            worker = functools.partial(_measure_with_fresh_instruments, self, trojan, version)
-            return parallel_map(worker, list(zip(dies, seeds)), n_jobs=n_jobs)
-        if self.power_meter is None and self.delay_analyzer is None:
-            worker = functools.partial(_measure_noise_free, self, trojan, version)
-            return parallel_map(worker, dies, n_jobs=n_jobs)
-        return [self.measure_device(die, trojan=trojan, version=version) for die in dies]
+        with span("campaign.measure_population", version=version,
+                  n=len(dies), n_jobs=n_jobs):
+            if self.instrument_root is not None:
+                # Stateful spawn: consecutive populations (TF, T1, T2 sweeps)
+                # get fresh, non-overlapping per-device seeds in call order.
+                seeds = self.instrument_root.spawn(len(dies))
+                worker = functools.partial(
+                    _measure_with_fresh_instruments, self, trojan, version
+                )
+                return parallel_map(worker, list(zip(dies, seeds)), n_jobs=n_jobs)
+            if self.power_meter is None and self.delay_analyzer is None:
+                worker = functools.partial(_measure_noise_free, self, trojan, version)
+                return parallel_map(worker, dies, n_jobs=n_jobs)
+            return [
+                self.measure_device(die, trojan=trojan, version=version)
+                for die in dies
+            ]
 
 
 def _measure_noise_free(campaign: FingerprintCampaign, trojan, version, die) -> MeasuredDevice:

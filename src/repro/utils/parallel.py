@@ -15,19 +15,30 @@ completion order yields different data on every run.  The contract here is
 Worker counts are clamped to the machine's CPU count — oversubscribing
 processes never helps the numpy-bound workloads here, and the clamp makes
 ``n_jobs=4`` safe to hard-code in scripts that also run on small boxes.
+
+Pool lifecycle (worker count, item count, chunk size, fallbacks) is logged
+on the ``repro.parallel`` logger — run the CLI with ``--log-level info`` to
+see whether a ``--jobs`` request actually produced a pool.  With tracing
+enabled (:mod:`repro.obs`), spans and metrics recorded inside workers are
+collected per item and re-parented under the dispatching span.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, Sequence
 
+from repro.obs.trace import unwrap_pool_results, wrap_pool_task
+
 #: Exceptions that indicate the *pool* (not the work) failed; these trigger
 #: the serial fallback.  Everything else propagates to the caller.
 _POOL_FAILURES = (OSError, BrokenProcessPool, pickle.PicklingError, ImportError)
+
+_log = logging.getLogger("repro.parallel")
 
 
 def resolve_n_jobs(n_jobs: Optional[int] = 1, cpu_count: Optional[int] = None) -> int:
@@ -63,6 +74,11 @@ def parallel_map(
     items = list(items)
     workers = min(resolve_n_jobs(n_jobs, cpu_count=cpu_count), len(items))
     if workers <= 1:
+        if n_jobs not in (None, 0, 1):
+            # A deliberate --jobs request that still ran serially is the
+            # misconfiguration this log line exists to surface.
+            _log.info("serial map of %d items (n_jobs=%r resolved to 1 worker)",
+                      len(items), n_jobs)
         return [fn(item) for item in items]
     try:
         # Closures and lambdas are not picklable; pickle signals this with
@@ -70,10 +86,23 @@ def parallel_map(
         # the payload, so probe once up front instead of enumerating them.
         pickle.dumps(fn)
     except Exception:
+        _log.warning("payload %r is not picklable; running %d items serially",
+                     getattr(fn, "__name__", fn), len(items))
         return [fn(item) for item in items]
     chunksize = max(1, len(items) // (workers * 2))
+    # When tracing is enabled, each work item runs under a fresh worker
+    # tracer and hands its spans/metrics back with the result; the wrapper
+    # is the identity when tracing is off (and adds no RNG use either way,
+    # so results stay bit-identical).
+    task = wrap_pool_task(fn)
+    _log.info("starting process pool: %d workers, %d items, chunksize %d",
+              workers, len(items), chunksize)
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items, chunksize=chunksize))
-    except _POOL_FAILURES:
+            results = list(pool.map(task, items, chunksize=chunksize))
+        _log.info("process pool finished: %d results", len(results))
+        return unwrap_pool_results(results)
+    except _POOL_FAILURES as failure:
+        _log.warning("process pool failed (%s: %s); falling back to serial",
+                     type(failure).__name__, failure)
         return [fn(item) for item in items]

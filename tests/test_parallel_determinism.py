@@ -11,6 +11,7 @@ from unittest import mock
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.circuits.montecarlo import MonteCarloEngine
 from repro.circuits.spicemodel import default_spice_deck
 from repro.core.pipeline import GoldenChipFreeDetector
@@ -100,3 +101,55 @@ class TestDetectorBitIdentity:
         for name, metric in metrics_serial.items():
             assert metrics_pooled[name].fn_count == metric.fn_count
             assert metrics_pooled[name].fp_count == metric.fp_count
+
+
+class TestTracingBitIdentity:
+    """Instrumentation reads clocks only: tracing must not move one bit."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_session(self):
+        yield
+        if obs.enabled():
+            obs.disable()
+
+    def test_traced_experiment_matches_untraced(self):
+        plain = generate_experiment_data(small_platform(n_chips=8, n_monte_carlo=20))
+        obs.enable()
+        traced = generate_experiment_data(small_platform(n_chips=8, n_monte_carlo=20))
+        spans, _ = obs.disable()
+        assert spans, "tracing session recorded no spans"
+        np.testing.assert_array_equal(traced.sim_pcms, plain.sim_pcms)
+        np.testing.assert_array_equal(traced.sim_fingerprints, plain.sim_fingerprints)
+        np.testing.assert_array_equal(traced.dutt_pcms, plain.dutt_pcms)
+        np.testing.assert_array_equal(
+            traced.dutt_fingerprints, plain.dutt_fingerprints
+        )
+
+    def test_traced_pool_matches_untraced_serial(self, engine):
+        plain = engine.run(12, seed=77, n_jobs=1)
+        obs.enable()
+        with _with_fake_cores(4):
+            traced = engine.run(12, seed=77, n_jobs=4)
+        spans, _ = obs.disable()
+        assert any(s.worker is not None for s in spans), "pool did not engage"
+        np.testing.assert_array_equal(traced.pcms, plain.pcms)
+        np.testing.assert_array_equal(traced.fingerprints, plain.fingerprints)
+
+    def test_traced_detector_matches_untraced(self, experiment_data):
+        def fit_and_evaluate():
+            detector = GoldenChipFreeDetector(small_detector_config())
+            detector.fit_premanufacturing(
+                experiment_data.sim_pcms, experiment_data.sim_fingerprints
+            )
+            detector.fit_silicon(experiment_data.dutt_pcms)
+            return detector.evaluate(
+                experiment_data.dutt_fingerprints, experiment_data.infested
+            )
+
+        plain = fit_and_evaluate()
+        obs.enable()
+        traced = fit_and_evaluate()
+        obs.disable()
+        for name, metric in plain.items():
+            assert traced[name].fn_count == metric.fn_count
+            assert traced[name].fp_count == metric.fp_count
