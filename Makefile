@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-baseline table1 smoke-obs
+.PHONY: test bench bench-baseline bench-cold cache-stats table1 smoke-obs
 
 test:
 	$(PYTHON) -m pytest -q
@@ -20,6 +20,15 @@ bench:
 # Regenerate the committed baseline (run on the reference machine only).
 bench-baseline:
 	$(PYTHON) benchmarks/bench_report.py --output benchmarks/BENCH_components.json
+
+# Same gate with the artifact cache forced off: times the real compute
+# paths even when a warm .repro-cache is sitting in the working tree.
+bench-cold:
+	REPRO_CACHE=0 $(PYTHON) benchmarks/bench_report.py --compare benchmarks/BENCH_components.json
+
+# On-disk inventory of the artifact cache (root, cap, entries per stage).
+cache-stats:
+	$(PYTHON) -m repro.cli cache stats
 
 table1:
 	$(PYTHON) -m repro.cli table1

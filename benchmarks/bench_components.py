@@ -62,3 +62,17 @@ def test_device_measurement(benchmark):
 
     device = benchmark(lambda: campaign.measure_device(die))
     assert device.fingerprint.shape == (6,)
+
+
+def test_mars_forward_pass(benchmark):
+    from repro.learn.mars import MarsRegression
+
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-2.0, 2.0, size=(400, 6))
+    y = (np.abs(x[:, 0]) + np.maximum(0.0, x[:, 1]) - 0.5 * x[:, 2]
+         + 0.1 * rng.standard_normal(400))
+    model = MarsRegression(max_terms=21)
+
+    basis, design, sse = benchmark(lambda: model._forward_pass(x, y))
+    assert len(basis) >= 3
+    assert design.shape[0] == 400

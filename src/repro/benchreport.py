@@ -8,6 +8,7 @@ run uses and writes them to a JSON report:
 * ``kde_sample`` — drawing 10^5 tail-enhanced samples;
 * ``ocsvm_fit`` — one-class SVM fit on a 1500-point population;
 * ``mars_fit`` — the PCM -> fingerprint regressions;
+* ``mars_forward`` — the MARS forward pass alone (400 x 6 problem);
 * ``kmm_weights`` — kernel mean matching (100 train x 120 test);
 * ``mc_run`` — the 100-device Monte Carlo simulation;
 * ``table1`` — the end-to-end three-stage pipeline on pre-generated data.
@@ -63,6 +64,7 @@ def build_cases(n_jobs: int = 1) -> Dict[str, Callable[[], object]]:
     from repro.core.datasets import train_regressions
     from repro.experiments.platformcfg import PlatformConfig, generate_experiment_data
     from repro.experiments.table1 import run_table1
+    from repro.learn.mars import MarsRegression
     from repro.learn.ocsvm import OneClassSvm
     from repro.stats.kde import AdaptiveKde
     from repro.stats.kmm import KernelMeanMatcher
@@ -78,6 +80,16 @@ def build_cases(n_jobs: int = 1) -> Dict[str, Callable[[], object]]:
     deck = default_spice_deck()
     sim_campaign = FingerprintCampaign.random_stimuli(nm=6, seed=0, noisy_bench=False)
     engine = MonteCarloEngine(deck, sim_campaign, numerical_noise=0.0015)
+    # A forward-pass-only workload larger than one Table-1 regression, so
+    # the incremental engine's candidate scoring dominates the timing.
+    mars_x = rng.uniform(-2.0, 2.0, size=(400, 6))
+    mars_y = (
+        np.abs(mars_x[:, 0])
+        + np.maximum(0.0, mars_x[:, 1])
+        - 0.5 * mars_x[:, 2]
+        + 0.1 * rng.standard_normal(400)
+    )
+    forward_model = MarsRegression(max_terms=21)
 
     return {
         "kde_density": lambda: AdaptiveKde(alpha=0.5).fit(kde_train).density(kde_eval),
@@ -86,6 +98,7 @@ def build_cases(n_jobs: int = 1) -> Dict[str, Callable[[], object]]:
         "mars_fit": lambda: train_regressions(
             data.sim_pcms, data.sim_fingerprints, bench_detector
         ),
+        "mars_forward": lambda: forward_model._forward_pass(mars_x, mars_y),
         "kmm_weights": lambda: KernelMeanMatcher(B=10.0).fit(
             data.sim_pcms, data.dutt_pcms
         ),

@@ -1,0 +1,275 @@
+"""Disk-backed artifact store: atomic writes, LRU size cap, crash safety.
+
+Layout: one directory per cache root, one file per entry::
+
+    <root>/
+        <stage>/<key>.npz      # key = content hash from repro.cache.keys
+
+Concurrency model: entries are immutable once written (same key => same
+bytes), so parallel writers at worst duplicate work — each writes to a
+private temp file in the entry's directory and publishes it with
+``os.replace``, which is atomic on POSIX.  Readers that lose a race with
+eviction simply miss and recompute.  Corrupt entries (truncated writes,
+version mismatches, unknown codec tags) are deleted on first read and
+reported as misses: the cache can only ever cost a recompute, never an
+incorrect result.
+
+Recency for the LRU cap is tracked through file mtimes — a hit re-touches
+its entry — so eviction needs no index file that could itself be corrupted.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.cache import codec
+from repro.cache.keys import make_key
+from repro.obs import metrics as obs_metrics
+
+#: Default size cap: generous for experiment artifacts, bounded for CI.
+DEFAULT_MAX_BYTES = 2 * 1024**3
+
+ENTRY_SUFFIX = ".npz"
+
+#: Sentinel distinguishing "miss" from a cached ``None``.
+MISS = object()
+
+
+@dataclass
+class StageCounts:
+    """Session counters for one stage."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+@dataclass
+class CacheSession:
+    """In-memory counters of one process's cache usage (for manifests)."""
+
+    per_stage: Dict[str, StageCounts] = field(default_factory=dict)
+    bytes_read: int = 0
+    bytes_written: int = 0
+    evictions: int = 0
+    corrupt_entries: int = 0
+
+    def stage(self, name: str) -> StageCounts:
+        return self.per_stage.setdefault(name, StageCounts())
+
+    @property
+    def hits(self) -> int:
+        return sum(s.hits for s in self.per_stage.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(s.misses for s in self.per_stage.values())
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "evictions": self.evictions,
+            "corrupt_entries": self.corrupt_entries,
+            "stages": {
+                name: counts.as_dict()
+                for name, counts in sorted(self.per_stage.items())
+            },
+        }
+
+
+class ArtifactCache:
+    """Content-addressed artifact cache over one root directory.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first store).
+    max_bytes:
+        LRU size cap; a store that pushes the total above it evicts the
+        least-recently-used entries until the cache fits again.
+    enabled:
+        Master switch: a disabled cache answers every lookup with a miss
+        and drops every store, so call sites need no conditionals.
+    """
+
+    def __init__(self, root: str, max_bytes: int = DEFAULT_MAX_BYTES,
+                 enabled: bool = True):
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.root = os.path.abspath(root)
+        self.max_bytes = int(max_bytes)
+        self.enabled = bool(enabled)
+        self.session = CacheSession()
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+
+    def _entry_path(self, stage: str, key: str) -> str:
+        return os.path.join(self.root, stage, key + ENTRY_SUFFIX)
+
+    def _iter_entries(self):
+        """Yield ``(path, stage, size, mtime)`` for every entry on disk."""
+        if not os.path.isdir(self.root):
+            return
+        for stage in sorted(os.listdir(self.root)):
+            stage_dir = os.path.join(self.root, stage)
+            if not os.path.isdir(stage_dir):
+                continue
+            for name in sorted(os.listdir(stage_dir)):
+                if not name.endswith(ENTRY_SUFFIX):
+                    continue
+                path = os.path.join(stage_dir, name)
+                try:
+                    info = os.stat(path)
+                except OSError:
+                    continue  # lost a race with eviction
+                yield path, stage, info.st_size, info.st_mtime
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+
+    def load(self, stage: str, key: str) -> Any:
+        """The cached value, or :data:`MISS`.
+
+        Any read failure — truncated file, bad payload, unknown tag —
+        deletes the entry and misses; the caller recomputes.
+        """
+        if not self.enabled:
+            return MISS
+        path = self._entry_path(stage, key)
+        try:
+            size = os.path.getsize(path)
+            value, _ = codec.load_npz(path)
+        except FileNotFoundError:
+            self._count_miss(stage)
+            return MISS
+        except Exception:
+            # Corrupt or unreadable entry: drop it, fall back to recompute.
+            self.session.corrupt_entries += 1
+            obs_metrics.counter("cache.corrupt_entries").inc()
+            self._remove(path)
+            self._count_miss(stage)
+            return MISS
+        try:
+            os.utime(path)  # LRU recency bump
+        except OSError:
+            pass
+        counts = self.session.stage(stage)
+        counts.hits += 1
+        self.session.bytes_read += size
+        obs_metrics.counter("cache.hits").inc()
+        obs_metrics.counter(f"cache.{stage}.hits").inc()
+        obs_metrics.counter("cache.bytes_read").inc(size)
+        return value
+
+    def store(self, stage: str, key: str, value: Any) -> bool:
+        """Write one entry atomically; returns False when disabled/uncodable."""
+        if not self.enabled:
+            return False
+        path = self._entry_path(stage, key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=ENTRY_SUFFIX
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                size = codec.dump_npz(handle, value, stage)
+            os.replace(temp_path, path)
+        except Exception:
+            self._remove(temp_path)
+            raise
+        counts = self.session.stage(stage)
+        counts.stores += 1
+        self.session.bytes_written += size
+        obs_metrics.counter("cache.stores").inc()
+        obs_metrics.counter("cache.bytes_written").inc(size)
+        self._evict_over_cap()
+        return True
+
+    def get_or_compute(self, stage: str, parts: Any,
+                       compute: Callable[[], Any], version: int = 1) -> Any:
+        """The cached value for ``(stage, parts)``, computing + storing on miss."""
+        if not self.enabled:
+            return compute()
+        key = make_key(stage, parts, version=version)
+        value = self.load(stage, key)
+        if value is not MISS:
+            return value
+        value = compute()
+        self.store(stage, key, value)
+        return value
+
+    def _count_miss(self, stage: str) -> None:
+        self.session.stage(stage).misses += 1
+        obs_metrics.counter("cache.misses").inc()
+        obs_metrics.counter(f"cache.{stage}.misses").inc()
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def _remove(self, path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    def _evict_over_cap(self) -> None:
+        entries = list(self._iter_entries())
+        total = sum(size for _, _, size, _ in entries)
+        if total <= self.max_bytes:
+            return
+        for path, _, size, _ in sorted(entries, key=lambda e: e[3]):
+            self._remove(path)
+            self.session.evictions += 1
+            obs_metrics.counter("cache.evictions").inc()
+            total -= size
+            if total <= self.max_bytes:
+                break
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path, *_ in list(self._iter_entries()):
+            self._remove(path)
+            removed += 1
+        return removed
+
+    def disk_stats(self) -> dict:
+        """On-disk inventory: entry counts and bytes, total and per stage."""
+        stages: Dict[str, dict] = {}
+        total_entries = 0
+        total_bytes = 0
+        for _, stage, size, _ in self._iter_entries():
+            record = stages.setdefault(stage, {"entries": 0, "bytes": 0})
+            record["entries"] += 1
+            record["bytes"] += size
+            total_entries += 1
+            total_bytes += size
+        return {
+            "root": self.root,
+            "max_bytes": self.max_bytes,
+            "entries": total_entries,
+            "bytes": total_bytes,
+            "stages": dict(sorted(stages.items())),
+        }
+
+    def provenance(self) -> dict:
+        """JSON-ready session record for run manifests."""
+        return {
+            "enabled": self.enabled,
+            "root": self.root,
+            "max_bytes": self.max_bytes,
+            "session": self.session.as_dict(),
+        }

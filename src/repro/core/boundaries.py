@@ -130,3 +130,27 @@ class TrustedRegion:
     def learner(self):
         """The fitted one-class learner, whatever its method."""
         return self._learner
+
+    def to_state(self) -> dict:
+        """Codec state of the fitted boundary (see :mod:`repro.cache.codec`)."""
+        self._check_fitted()
+        return {
+            "params": {
+                "name": self.name,
+                "method": self.method,
+                "floor_ratio": self.floor_ratio,
+                "noise_floor_rel": self.noise_floor_rel,
+            },
+            "whitener": self._whitener,
+            "learner": self._learner,
+            "n_training_samples": int(self.n_training_samples_),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TrustedRegion":
+        """Rebuild a fitted boundary from :meth:`to_state` output."""
+        region = cls(**state["params"])
+        region._whitener = state["whitener"]
+        region._learner = state["learner"]
+        region.n_training_samples_ = int(state["n_training_samples"])
+        return region

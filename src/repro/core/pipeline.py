@@ -21,6 +21,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro import cache as artifact_cache
+from repro.cache import digest_array
 from repro.core.boundaries import TrustedRegion
 from repro.core.config import DetectorConfig
 from repro.core.datasets import (
@@ -69,8 +71,45 @@ class GoldenChipFreeDetector:
         # the master seed: [S2 KDE, KMM resample, S5 KDE, B1, B2, B3, B4, B5].
         # SeedSequence spawning is prefix-stable, so the first three streams
         # match the historical 4-child layout; each boundary now owns its own
-        # stream (required for order-independent, parallelizable fits).
+        # stream (required for order-independent, parallelizable fits).  The
+        # same independence lets the artifact cache serve any one stage warm
+        # without perturbing what the remaining cold stages compute.
         self._rngs = spawn_children(self.config.seed, 3 + len(BOUNDARY_NAMES))
+
+    # ------------------------------------------------------------------
+    # artifact-cache plumbing
+    # ------------------------------------------------------------------
+
+    #: DetectorConfig fields each cacheable stage depends on.  ``n_jobs``
+    #: never appears (results are bit-identical for any worker count);
+    #: ``seed`` is appended automatically for stochastic stages.
+    _STAGE_FIELDS = {
+        "regressions": ("regression_mode", "mars_max_terms", "mars_max_degree",
+                        "mars_penalty"),
+        "kde_tail": ("kde_samples", "kde_alpha", "kde_bandwidth",
+                     "kde_bandwidth_scale", "floor_ratio"),
+        "kmm_shift": ("kmm_B", "kmm_eps", "kmm_gamma", "kmm_resample_size"),
+        "boundary": ("svm_nu", "svm_gamma", "floor_ratio", "noise_floor_rel",
+                     "svm_max_training_samples", "boundary_method"),
+    }
+
+    def _stage_parts(self, stage: str, **extra) -> dict:
+        parts = {name: getattr(self.config, name)
+                 for name in self._STAGE_FIELDS[stage]}
+        parts.update(extra)
+        return parts
+
+    def _cached(self, stage, parts, compute, stochastic=True):
+        """Route one stage through the artifact cache.
+
+        Stochastic stages consume a child stream of the master seed; with no
+        seed their output is not addressable, so they always recompute.
+        """
+        if stochastic:
+            if self.config.seed is None:
+                return compute()
+            parts = {**parts, "seed": self.config.seed}
+        return artifact_cache.stage_cached(stage, parts, compute)
 
     # ------------------------------------------------------------------
     # stage 1: pre-manufacturing
@@ -83,14 +122,28 @@ class GoldenChipFreeDetector:
         with span("pipeline.fit_premanufacturing", n_sim=int(sim_pcms.shape[0])):
             self._sim_pcms = sim_pcms
             with span("regression.train", mode=self.config.regression_mode):
-                self.regressions_ = train_regressions(
-                    sim_pcms, sim_fingerprints, self.config
+                self.regressions_ = self._cached(
+                    "regressions",
+                    self._stage_parts(
+                        "regressions",
+                        pcms=digest_array(sim_pcms),
+                        fingerprints=digest_array(sim_fingerprints),
+                    ),
+                    lambda: train_regressions(sim_pcms, sim_fingerprints, self.config),
+                    stochastic=False,
                 )
 
             self.datasets.sets["S1"] = build_s1(sim_fingerprints)
             with span("dataset.build", dataset="S2"):
-                self.datasets.sets["S2"] = tail_enhance(
-                    self.datasets["S1"], self.config, rng=self._rngs[0]
+                self.datasets.sets["S2"] = self._cached(
+                    "kde_tail",
+                    self._stage_parts(
+                        "kde_tail", dataset="S2",
+                        population=digest_array(self.datasets["S1"]),
+                    ),
+                    lambda: tail_enhance(
+                        self.datasets["S1"], self.config, rng=self._rngs[0]
+                    ),
                 )
             self._fit_boundaries({"B1": "S1", "B2": "S2"})
         return self
@@ -114,13 +167,35 @@ class GoldenChipFreeDetector:
             with span("dataset.build", dataset="S3"):
                 self.datasets.sets["S3"] = build_s3(self.regressions_, dutt_pcms)
             with span("dataset.build", dataset="S4"):
-                self.datasets.sets["S4"] = build_s4(
-                    self.regressions_, self._sim_pcms, dutt_pcms, self.config,
-                    rng=self._rngs[1],
+                # S4 depends on the fitted regressions; their inputs (the
+                # simulated PCMs/fingerprints and the regression fields)
+                # stand in for them in the key.
+                self.datasets.sets["S4"] = self._cached(
+                    "kmm_shift",
+                    self._stage_parts(
+                        "kmm_shift",
+                        regression=self._stage_parts(
+                            "regressions",
+                            fingerprints=digest_array(self.datasets["S1"]),
+                        ),
+                        sim_pcms=digest_array(self._sim_pcms),
+                        dutt_pcms=digest_array(dutt_pcms),
+                    ),
+                    lambda: build_s4(
+                        self.regressions_, self._sim_pcms, dutt_pcms,
+                        self.config, rng=self._rngs[1],
+                    ),
                 )
             with span("dataset.build", dataset="S5"):
-                self.datasets.sets["S5"] = tail_enhance(
-                    self.datasets["S4"], self.config, rng=self._rngs[2]
+                self.datasets.sets["S5"] = self._cached(
+                    "kde_tail",
+                    self._stage_parts(
+                        "kde_tail", dataset="S5",
+                        population=digest_array(self.datasets["S4"]),
+                    ),
+                    lambda: tail_enhance(
+                        self.datasets["S4"], self.config, rng=self._rngs[2]
+                    ),
                 )
             self._fit_boundaries({"B3": "S3", "B4": "S4", "B5": "S5"})
         return self
@@ -137,19 +212,50 @@ class GoldenChipFreeDetector:
             seed=self._rngs[3 + BOUNDARY_NAMES.index(name)],
         )
 
+    def _boundary_key_parts(self, name: str, dataset: str) -> dict:
+        # The boundary's subsampling stream is a child of the master seed
+        # indexed by the boundary name, so (seed, name) pins it exactly.
+        return self._stage_parts(
+            "boundary", boundary=name,
+            population=digest_array(self.datasets[dataset]),
+        )
+
     def _fit_boundaries(self, mapping: Dict[str, str]) -> None:
         """Fit independent boundaries, optionally across worker processes.
 
         Each boundary consumes only its own child generator, so fitting in a
-        pool yields the same regions as fitting serially, in any order.
+        pool yields the same regions as fitting serially, in any order —
+        and a cached boundary can be served without touching the streams of
+        the ones that still need fitting.
         """
+        cache = artifact_cache.get_cache()
+        use_cache = cache is not None and self.config.seed is not None
+        pending = dict(mapping)
+        if use_cache:
+            for name, dataset in mapping.items():
+                key = artifact_cache.make_key(
+                    "boundary", {**self._boundary_key_parts(name, dataset),
+                                 "seed": self.config.seed},
+                )
+                region = cache.load("boundary", key)
+                if region is not artifact_cache.MISS:
+                    self.boundaries[name] = region
+                    del pending[name]
+        if not pending:
+            return
         pairs = [(self._new_region(name), self.datasets[dataset])
-                 for name, dataset in mapping.items()]
-        with span("pipeline.fit_boundaries", boundaries=",".join(mapping),
+                 for name, dataset in pending.items()]
+        with span("pipeline.fit_boundaries", boundaries=",".join(pending),
                   n_jobs=self.config.n_jobs):
             fitted = parallel_map(_fit_region, pairs, n_jobs=self.config.n_jobs)
-        for name, region in zip(mapping, fitted):
+        for (name, dataset), region in zip(pending.items(), fitted):
             self.boundaries[name] = region
+            if use_cache:
+                key = artifact_cache.make_key(
+                    "boundary", {**self._boundary_key_parts(name, dataset),
+                                 "seed": self.config.seed},
+                )
+                cache.store("boundary", key, region)
 
     # ------------------------------------------------------------------
     # stage 3: trojan test

@@ -38,7 +38,7 @@ from repro.experiments.platformcfg import (
     generate_experiment_data,
 )
 from repro.stats.evt import GpdTailEnhancer
-from repro.stats.kmm import KernelMeanMatcher, importance_resample
+from repro.stats.kmm import KernelMeanMatcher, KmmProblem, importance_resample
 from repro.core.datasets import build_s4
 from repro.utils.rng import as_generator
 
@@ -143,6 +143,52 @@ def ablate_kmm(
         data.sim_pcms, matcher.weights, config.kmm_resample_size, rng=rng
     )
     rows.append(region_from_pcms(shifted, "B5 via KMM (paper)"))
+    return rows
+
+
+def ablate_kmm_bandwidth(
+    data: Optional[ExperimentData] = None,
+    gamma_scales=(0.25, 0.5, 1.0, 2.0, 4.0),
+    base_config: Optional[DetectorConfig] = None,
+) -> List[AblationRow]:
+    """A2b: sensitivity of the KMM calibration to the kernel bandwidth.
+
+    Sweeps multiples of the median-heuristic gamma.  All candidates share
+    one :class:`KmmProblem`, so the pooled pairwise distances are computed
+    once for the whole sweep.
+    """
+    data = data or generate_experiment_data(PlatformConfig())
+    config = base_config or DetectorConfig(svm_max_training_samples=1000)
+    rng = as_generator(config.seed)
+    regressions = train_regressions(data.sim_pcms, data.sim_fingerprints, config)
+
+    problem = KmmProblem(data.sim_pcms, data.dutt_pcms)
+    median = problem.median_gamma()
+    matchers = problem.sweep(
+        [scale * median for scale in gamma_scales],
+        B=config.kmm_B, eps=config.kmm_eps,
+    )
+
+    rows = []
+    for scale, matcher in zip(gamma_scales, matchers):
+        shifted = importance_resample(
+            data.sim_pcms, matcher.weights, config.kmm_resample_size, rng=rng
+        )
+        s5 = tail_enhance(regressions.predict(shifted), config, rng=rng)
+        region = TrustedRegion(
+            name=f"gamma x{scale}",
+            nu=config.svm_nu,
+            gamma=config.svm_gamma,
+            floor_ratio=config.floor_ratio,
+            noise_floor_rel=config.noise_floor_rel,
+            max_training_samples=config.svm_max_training_samples,
+            seed=rng,
+        ).fit(s5)
+        rows.append(_evaluate_region(
+            region, data,
+            f"B5 with KMM gamma = {scale} x median "
+            f"(ESS {matcher.effective_sample_size():.0f})",
+        ))
     return rows
 
 

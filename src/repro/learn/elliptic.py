@@ -81,3 +81,28 @@ class EllipticEnvelope:
     def predict_inside(self, points) -> np.ndarray:
         """Boolean array: True where a point lies inside the envelope."""
         return self.decision_function(points) >= 0.0
+
+    def to_state(self) -> dict:
+        """Codec state of the fitted envelope (see :mod:`repro.cache.codec`)."""
+        self._check_fitted()
+        return {
+            "params": {
+                "contamination": self.contamination,
+                "floor_ratio": self.floor_ratio,
+                "floor_sigma": self.floor_sigma,
+            },
+            "mean": self.mean_,
+            "inv_scales": self._inv_scales,
+            "components": self._components,
+            "threshold": float(self.threshold_),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "EllipticEnvelope":
+        """Rebuild a fitted envelope from :meth:`to_state` output."""
+        model = cls(**state["params"])
+        model.mean_ = np.asarray(state["mean"], dtype=float)
+        model._inv_scales = np.asarray(state["inv_scales"], dtype=float)
+        model._components = np.asarray(state["components"], dtype=float)
+        model.threshold_ = float(state["threshold"])
+        return model

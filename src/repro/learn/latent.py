@@ -66,3 +66,21 @@ class LatentGainMars:
         if self.gain_model_ is None:
             raise RuntimeError("LatentGainMars must be fitted before use")
         return self.gain_model_.predict(check_2d(x, "x"))
+
+    def to_state(self) -> dict:
+        """Codec state of the fitted model (see :mod:`repro.cache.codec`)."""
+        if self.gain_model_ is None:
+            raise RuntimeError("LatentGainMars must be fitted before use")
+        return {
+            "mars_kwargs": dict(self.mars_kwargs),
+            "feature_means": self.feature_means_,
+            "gain_model": self.gain_model_,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LatentGainMars":
+        """Rebuild a fitted model from :meth:`to_state` output."""
+        model = cls(**state["mars_kwargs"])
+        model.feature_means_ = np.asarray(state["feature_means"], dtype=float)
+        model.gain_model_ = state["gain_model"]
+        return model

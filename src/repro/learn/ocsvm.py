@@ -223,3 +223,41 @@ class OneClassSvm:
     def training_inlier_fraction(self, data) -> float:
         """Fraction of ``data`` classified inside (diagnostics; ~1 - nu)."""
         return float(np.mean(self.predict_inside(data)))
+
+    # ------------------------------------------------------------------
+    # artifact-cache state
+    # ------------------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Codec state of the fitted boundary (see :mod:`repro.cache.codec`).
+
+        The seed is deliberately dropped: it only drives training-set
+        subsampling, which the stored support vectors already reflect, and
+        live seeds may be ``Generator`` objects with no stable encoding.
+        """
+        self._check_fitted()
+        return {
+            "params": {
+                "nu": self.nu,
+                "gamma": self.gamma,
+                "tol": self.tol,
+                "max_iterations": self.max_iterations,
+                "max_training_samples": self.max_training_samples,
+            },
+            "support_vectors": self.support_vectors_,
+            "dual_coefs": self.dual_coefs_,
+            "rho": float(self.rho_),
+            "effective_gamma": float(self.effective_gamma_),
+            "n_iterations": int(self.n_iterations_),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OneClassSvm":
+        """Rebuild a fitted boundary from :meth:`to_state` output."""
+        model = cls(**state["params"])
+        model.support_vectors_ = np.asarray(state["support_vectors"], dtype=float)
+        model.dual_coefs_ = np.asarray(state["dual_coefs"], dtype=float)
+        model.rho_ = float(state["rho"])
+        model.effective_gamma_ = float(state["effective_gamma"])
+        model.n_iterations_ = int(state["n_iterations"])
+        return model

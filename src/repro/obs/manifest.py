@@ -108,6 +108,7 @@ class RunManifest:
     metrics: dict = field(default_factory=dict)
     spans: List[dict] = field(default_factory=list)
     results: Optional[dict] = None
+    cache: Optional[dict] = None
     schema_version: int = MANIFEST_SCHEMA_VERSION
 
     def to_dict(self) -> dict:
@@ -125,6 +126,7 @@ class RunManifest:
             "metrics": self.metrics,
             "spans": list(self.spans),
             "results": self.results,
+            "cache": self.cache,
         }
 
     @classmethod
@@ -142,6 +144,7 @@ class RunManifest:
             metrics=dict(data.get("metrics", {})),
             spans=list(data.get("spans", [])),
             results=data.get("results"),
+            cache=data.get("cache"),
             schema_version=int(data.get("schema_version", MANIFEST_SCHEMA_VERSION)),
         )
 

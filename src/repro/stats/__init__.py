@@ -15,7 +15,7 @@ from repro.stats.kernels import (
     polynomial_kernel,
     rbf_kernel,
 )
-from repro.stats.kmm import KernelMeanMatcher, importance_resample
+from repro.stats.kmm import KernelMeanMatcher, KmmProblem, importance_resample
 from repro.stats.mmd import mmd_permutation_test, mmd_squared
 from repro.stats.pca import PrincipalComponentAnalysis
 from repro.stats.preprocessing import StandardScaler, Whitener
@@ -28,6 +28,7 @@ __all__ = [
     "median_heuristic_gamma",
     "solve_qp",
     "KernelMeanMatcher",
+    "KmmProblem",
     "importance_resample",
     "mmd_squared",
     "mmd_permutation_test",

@@ -16,7 +16,7 @@ which expands to the QP of the paper's Eq. (4):
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -30,6 +30,55 @@ from repro.stats.kernels import (
 from repro.stats.qp import solve_qp
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_2d
+
+
+class KmmProblem:
+    """Precomputed geometry of one (train, test) matching instance.
+
+    The expensive part of KMM setup is the pooled pairwise squared-distance
+    matrix — O((n_tr + n_te)^2 d) — which does not depend on the kernel
+    bandwidth.  Building a :class:`KmmProblem` hoists that computation so a
+    bandwidth sweep (and the median heuristic) reuses it; each candidate
+    gamma then only pays one elementwise ``exp``.  Kernels are materialized
+    into fresh buffers with exactly the operations the one-shot path uses,
+    so weights computed through a problem are bitwise identical to
+    :meth:`KernelMeanMatcher.fit` on the same arrays.
+    """
+
+    def __init__(self, train, test):
+        train = check_2d(train, "train")
+        test = check_2d(test, "test")
+        if train.shape[1] != test.shape[1]:
+            raise ValueError(
+                f"train and test must share features, got {train.shape[1]} "
+                f"and {test.shape[1]}"
+            )
+        self.n_train = int(train.shape[0])
+        self.n_test = int(test.shape[0])
+        pooled = np.vstack([train, test])
+        #: Pooled squared distances; kept pristine (kernels use copies).
+        self.sq_dists_ = pairwise_sq_dists(pooled, pooled)
+
+    def median_gamma(self) -> float:
+        """The median-heuristic bandwidth of the pooled population."""
+        return median_heuristic_gamma_from_sq(self.sq_dists_)
+
+    def kernel(self, gamma: float) -> np.ndarray:
+        """The pooled RBF kernel at ``gamma`` (a fresh buffer per call)."""
+        return rbf_from_sq_dists(self.sq_dists_.copy(), gamma)
+
+    def sweep(self, gammas: Sequence[float], B: float = 1000.0,
+              eps: Optional[float] = None) -> List["KernelMeanMatcher"]:
+        """Fit one matcher per candidate bandwidth, reusing the distances.
+
+        Returns the fitted matchers in ``gammas`` order; compare their
+        ``rkhs_residual_`` / :meth:`KernelMeanMatcher.effective_sample_size`
+        to choose a bandwidth.
+        """
+        return [
+            KernelMeanMatcher(B=B, eps=eps, gamma=float(g)).fit_problem(self)
+            for g in gammas
+        ]
 
 
 class KernelMeanMatcher:
@@ -66,26 +115,25 @@ class KernelMeanMatcher:
         """Compute importance weights for ``train`` so it matches ``test``.
 
         Both arguments are ``(n, d)`` sample matrices over the same features
-        (PCM measurements, in the paper's use).
+        (PCM measurements, in the paper's use).  Sweeping several bandwidths
+        over the same pair?  Build one :class:`KmmProblem` and use
+        :meth:`fit_problem` / :meth:`KmmProblem.sweep` instead — same
+        weights, one distance pass.
         """
-        train = check_2d(train, "train")
-        test = check_2d(test, "test")
-        if train.shape[1] != test.shape[1]:
-            raise ValueError(
-                f"train and test must share features, got {train.shape[1]} and {test.shape[1]}"
-            )
-        n_tr = train.shape[0]
-        n_te = test.shape[0]
+        return self.fit_problem(KmmProblem(train, test))
+
+    def fit_problem(self, problem: KmmProblem) -> "KernelMeanMatcher":
+        """Fit on a prebuilt :class:`KmmProblem` (distances already pooled)."""
+        n_tr = problem.n_train
+        n_te = problem.n_test
 
         with span("kmm.fit", n_train=n_tr, n_test=n_te) as fit_span:
-            # One pooled squared-distance pass serves the median-heuristic
-            # gamma, the train Gram matrix and the train-test cross kernel.
-            pooled = np.vstack([train, test])
-            sq = pairwise_sq_dists(pooled, pooled)
+            # The pooled squared distances serve the median-heuristic gamma,
+            # the train Gram matrix and the train-test cross kernel.
             gamma = self.gamma
             if gamma is None:
-                gamma = median_heuristic_gamma_from_sq(sq)
-            pooled_kernel = rbf_from_sq_dists(sq, gamma)  # consumes the sq buffer
+                gamma = problem.median_gamma()
+            pooled_kernel = problem.kernel(gamma)
 
             K = pooled_kernel[:n_tr, :n_tr]
             test_kernel_sum = float(pooled_kernel[n_tr:, n_tr:].sum())

@@ -144,3 +144,25 @@ class Whitener:
         self._check_fitted()
         data = check_2d(data, "data")
         return (data * self.scales_) @ self.components_ + self.mean_
+
+    def to_state(self) -> dict:
+        """Codec state of the fitted transform (see :mod:`repro.cache.codec`)."""
+        self._check_fitted()
+        return {
+            "params": {
+                "floor_ratio": self.floor_ratio,
+                "floor_sigma": self.floor_sigma,
+            },
+            "mean": self.mean_,
+            "components": self.components_,
+            "scales": self.scales_,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Whitener":
+        """Rebuild a fitted transform from :meth:`to_state` output."""
+        model = cls(**state["params"])
+        model.mean_ = np.asarray(state["mean"], dtype=float)
+        model.components_ = np.asarray(state["components"], dtype=float)
+        model.scales_ = np.asarray(state["scales"], dtype=float)
+        return model

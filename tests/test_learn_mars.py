@@ -116,3 +116,71 @@ class TestMultiOutput:
     def test_unfitted_raises(self):
         with pytest.raises(RuntimeError):
             MultiOutputMars().predict(np.zeros((1, 1)))
+
+
+class TestForwardEngines:
+    """The fast forward pass must reproduce the reference lstsq engine."""
+
+    @staticmethod
+    def _basis_signature(model):
+        return [
+            [(t.variable, t.knot, t.sign) for t in basis.terms]
+            for basis in model.basis_
+        ]
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            MarsRegression(forward="newton")
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_bit_identical_selection_2d(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-2, 2, size=(150, 2))
+        y = (np.abs(x[:, 0]) + np.maximum(0, x[:, 1])
+             + 0.05 * rng.standard_normal(150))
+        fast = MarsRegression(forward="fast").fit(x, y)
+        slow = MarsRegression(forward="lstsq").fit(x, y)
+        assert self._basis_signature(fast) == self._basis_signature(slow)
+        np.testing.assert_array_equal(fast.coef_, slow.coef_)
+        assert fast.gcv_ == slow.gcv_
+        np.testing.assert_array_equal(fast.predict(x), slow.predict(x))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bit_identical_selection_1d(self, seed):
+        """1-d inputs hit the structurally rank-deficient candidate regime."""
+        rng = np.random.default_rng(100 + seed)
+        x = rng.uniform(-1, 1, size=(120, 1))
+        y = np.sin(3 * x[:, 0]) + 0.02 * rng.standard_normal(120)
+        fast = MarsRegression(max_terms=15, forward="fast").fit(x, y)
+        slow = MarsRegression(max_terms=15, forward="lstsq").fit(x, y)
+        assert self._basis_signature(fast) == self._basis_signature(slow)
+        np.testing.assert_array_equal(fast.coef_, slow.coef_)
+
+    def test_bit_identical_with_interactions(self):
+        rng = np.random.default_rng(42)
+        x = rng.uniform(-1, 1, size=(200, 3))
+        y = (np.maximum(0, x[:, 0]) * np.maximum(0, x[:, 1]) + x[:, 2]
+             + 0.05 * rng.standard_normal(200))
+        fast = MarsRegression(max_degree=2, forward="fast").fit(x, y)
+        slow = MarsRegression(max_degree=2, forward="lstsq").fit(x, y)
+        assert self._basis_signature(fast) == self._basis_signature(slow)
+        np.testing.assert_array_equal(fast.coef_, slow.coef_)
+
+    def test_duplicate_sample_values(self):
+        """Tied knot candidates must not split the two engines."""
+        rng = np.random.default_rng(3)
+        x = rng.integers(-3, 4, size=(120, 2)).astype(float)  # heavy ties
+        y = np.abs(x[:, 0]) + 0.1 * rng.standard_normal(120)
+        fast = MarsRegression(forward="fast").fit(x, y)
+        slow = MarsRegression(forward="lstsq").fit(x, y)
+        assert self._basis_signature(fast) == self._basis_signature(slow)
+        np.testing.assert_array_equal(fast.coef_, slow.coef_)
+
+    def test_state_round_trip(self, rng):
+        x = rng.uniform(-2, 2, size=(150, 2))
+        y = np.abs(x[:, 0]) - x[:, 1]
+        model = MarsRegression(max_terms=9).fit(x, y)
+        clone = MarsRegression.from_state(model.to_state())
+        np.testing.assert_array_equal(clone.predict(x), model.predict(x))
+        assert clone.forward == model.forward
+        assert self._basis_signature(clone) == self._basis_signature(model)

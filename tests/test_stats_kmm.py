@@ -95,3 +95,50 @@ class TestImportanceResample:
         a = importance_resample(train, w, size=30, rng=9)
         b = importance_resample(train, w, size=30, rng=9)
         np.testing.assert_array_equal(a, b)
+
+
+class TestKmmProblem:
+    def test_fit_problem_bitwise_matches_fit(self, shifted_data):
+        from repro.stats.kmm import KmmProblem
+
+        train, test = shifted_data
+        direct = KernelMeanMatcher(B=10.0).fit(train, test)
+        problem = KmmProblem(train, test)
+        hoisted = KernelMeanMatcher(B=10.0).fit_problem(problem)
+        np.testing.assert_array_equal(hoisted.weights, direct.weights)
+        assert hoisted.effective_gamma_ == direct.effective_gamma_
+        assert hoisted.rkhs_residual_ == direct.rkhs_residual_
+
+    def test_distances_reused_across_bandwidths(self, shifted_data):
+        from repro.stats.kmm import KmmProblem
+
+        train, test = shifted_data
+        problem = KmmProblem(train, test)
+        before = problem.sq_dists_.copy()
+        base = problem.median_gamma()
+        matchers = problem.sweep([0.5 * base, base, 2.0 * base], B=10.0)
+        # The pooled distances are pristine after a sweep (kernels use copies).
+        np.testing.assert_array_equal(problem.sq_dists_, before)
+        assert [m.effective_gamma_ for m in matchers] == [
+            0.5 * base, base, 2.0 * base
+        ]
+        # Each sweep arm equals a from-scratch fit at that gamma.
+        for matcher in matchers:
+            direct = KernelMeanMatcher(
+                B=10.0, gamma=matcher.effective_gamma_
+            ).fit(train, test)
+            np.testing.assert_array_equal(matcher.weights, direct.weights)
+
+    def test_median_gamma_matches_one_shot_path(self, shifted_data):
+        from repro.stats.kmm import KmmProblem
+
+        train, test = shifted_data
+        problem = KmmProblem(train, test)
+        assert KernelMeanMatcher(B=10.0).fit(train, test).effective_gamma_ == \
+            problem.median_gamma()
+
+    def test_feature_mismatch_rejected(self):
+        from repro.stats.kmm import KmmProblem
+
+        with pytest.raises(ValueError, match="share features"):
+            KmmProblem(np.zeros((5, 2)), np.zeros((5, 3)))
