@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-baseline bench-cold cache-stats table1 smoke-obs
+.PHONY: test bench bench-baseline bench-cold bench-serve cache-stats table1 smoke-obs smoke-serve
 
 test:
 	$(PYTHON) -m pytest -q
@@ -12,10 +12,22 @@ test:
 smoke-obs:
 	$(PYTHON) -m pytest -q tests/test_obs_smoke.py
 
+# Serving smoke test: export a bundle, serve it over HTTP, score through
+# the client, and exercise the structured-error contract end to end.
+# The same files run as part of `make test` (they live in tests/).
+smoke-serve:
+	$(PYTHON) -m pytest -q tests/test_serve_bundle.py tests/test_serve_engine.py tests/test_serve_server.py
+
 # Regression gate: fail when any component is >20% slower than the
-# committed baseline (benchmarks/BENCH_components.json).
+# committed baseline (benchmarks/BENCH_components.json), then check the
+# screening service sustains the acceptance throughput.
 bench:
 	$(PYTHON) benchmarks/bench_report.py --compare benchmarks/BENCH_components.json
+	$(PYTHON) benchmarks/bench_serve.py --min-throughput 5000
+
+# Closed-loop HTTP load test of the screening service on its own.
+bench-serve:
+	$(PYTHON) benchmarks/bench_serve.py --min-throughput 5000
 
 # Regenerate the committed baseline (run on the reference machine only).
 bench-baseline:

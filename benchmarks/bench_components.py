@@ -7,7 +7,8 @@ regressions in any one algorithm are visible in isolation:
 * one-class SVM fit on a 1500-point whitened population;
 * MARS fit on the 100-device Monte Carlo data;
 * KMM weight computation (100 train x 120 test);
-* full silicon-measurement campaign for one device.
+* full silicon-measurement campaign for one device;
+* batched B1..B5 classification of 2048 devices (the serving hot path).
 """
 
 import numpy as np
@@ -62,6 +63,16 @@ def test_device_measurement(benchmark):
 
     device = benchmark(lambda: campaign.measure_device(die))
     assert device.fingerprint.shape == (6,)
+
+
+def test_classify_batch(benchmark, paper_detector, paper_data):
+    """Serving hot path: one validated batch against all five boundaries."""
+    reps = -(-2048 // paper_data.dutt_fingerprints.shape[0])
+    batch = np.tile(paper_data.dutt_fingerprints, (reps, 1))[:2048]
+
+    verdicts = benchmark(lambda: paper_detector.classify_batch(batch))
+    assert set(verdicts) == {"B1", "B2", "B3", "B4", "B5"}
+    assert all(v.shape == (2048,) for v in verdicts.values())
 
 
 def test_mars_forward_pass(benchmark):

@@ -11,7 +11,9 @@ run uses and writes them to a JSON report:
 * ``mars_forward`` — the MARS forward pass alone (400 x 6 problem);
 * ``kmm_weights`` — kernel mean matching (100 train x 120 test);
 * ``mc_run`` — the 100-device Monte Carlo simulation;
-* ``table1`` — the end-to-end three-stage pipeline on pre-generated data.
+* ``table1`` — the end-to-end three-stage pipeline on pre-generated data;
+* ``serve_batch`` — scoring 2048 devices against all five boundaries
+  through the serving engine (the screening service's hot path).
 
 ``--compare BASELINE.json`` exits non-zero when any component is more than
 ``--threshold`` (default 20 %) slower than the committed baseline.  Timings
@@ -63,9 +65,11 @@ def build_cases(n_jobs: int = 1) -> Dict[str, Callable[[], object]]:
     from repro.core.config import DetectorConfig
     from repro.core.datasets import train_regressions
     from repro.experiments.platformcfg import PlatformConfig, generate_experiment_data
+    from repro.core.pipeline import GoldenChipFreeDetector
     from repro.experiments.table1 import run_table1
     from repro.learn.mars import MarsRegression
     from repro.learn.ocsvm import OneClassSvm
+    from repro.serve.engine import ScoringEngine
     from repro.stats.kde import AdaptiveKde
     from repro.stats.kmm import KernelMeanMatcher
     from repro.testbed.campaign import FingerprintCampaign
@@ -90,6 +94,14 @@ def build_cases(n_jobs: int = 1) -> Dict[str, Callable[[], object]]:
         + 0.1 * rng.standard_normal(400)
     )
     forward_model = MarsRegression(max_terms=21)
+    # The serve case times scoring only, so the fit (identical stages to the
+    # table1 case, served warm by the artifact cache when enabled) is setup.
+    serve_detector = GoldenChipFreeDetector(bench_detector)
+    serve_detector.fit_premanufacturing(data.sim_pcms, data.sim_fingerprints)
+    serve_detector.fit_silicon(data.dutt_pcms)
+    serve_engine = ScoringEngine(serve_detector)
+    reps = -(-2048 // data.dutt_fingerprints.shape[0])
+    serve_batch = np.tile(data.dutt_fingerprints, (reps, 1))[:2048]
 
     return {
         "kde_density": lambda: AdaptiveKde(alpha=0.5).fit(kde_train).density(kde_eval),
@@ -104,6 +116,7 @@ def build_cases(n_jobs: int = 1) -> Dict[str, Callable[[], object]]:
         ),
         "mc_run": lambda: engine.run(100, seed=0, n_jobs=n_jobs),
         "table1": lambda: run_table1(detector_config=bench_detector, data=data),
+        "serve_batch": lambda: serve_engine.score(serve_batch),
     }
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.cache.codec import register
 from repro.core.boundaries import TrustedRegion
+from repro.core.pipeline import GoldenChipFreeDetector
 from repro.learn.elliptic import EllipticEnvelope
 from repro.learn.latent import LatentGainMars
 from repro.learn.mars import MarsRegression, MultiOutputMars
@@ -23,3 +24,7 @@ register("ocsvm", OneClassSvm)
 register("elliptic", EllipticEnvelope)
 register("whitener", Whitener)
 register("trusted_region", TrustedRegion)
+# The whole fitted detector is itself codec-encodable: detector bundles
+# (repro.serve.bundle) serialize it as one value through the same machinery
+# the stage cache uses for its parts.
+register("detector", GoldenChipFreeDetector)

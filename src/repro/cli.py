@@ -2,13 +2,16 @@
 
 Commands
 --------
-table1     reproduce Table 1 (FP/FN of boundaries B1..B5)
-figure4    reproduce the Figure 4 geometry summary
-audit      screen a device population and print the audit sheet
-generate   synthesize an experiment and save it to .npz
-ablation   run one of the ablation studies (A1/A2/A5/A7)
-report     pretty-print the manifest of a traced run
-cache      inspect (``stats``) or empty (``clear``) the artifact cache
+table1        reproduce Table 1 (FP/FN of boundaries B1..B5)
+figure4       reproduce the Figure 4 geometry summary
+audit         screen a device population and print the audit sheet
+generate      synthesize an experiment and save it to .npz
+ablation      run one of the ablation studies (A1/A2/A5/A7)
+report        pretty-print the manifest of a traced run
+cache         inspect (``stats``) or empty (``clear``) the artifact cache
+export-bundle fit a detector and export it as a ``repro-bundle-v1`` file
+serve         serve a detector bundle over the HTTP screening API
+score         screen devices against a bundle (local) or a server (--url)
 
 Every experiment command accepts ``--trace`` (record spans + metrics and
 write ``<run-dir>/manifest.json`` + ``events.jsonl``), ``--run-dir``
@@ -178,6 +181,96 @@ def _cmd_ablation(args) -> int:
     return 0
 
 
+def _fit_detector(args) -> GoldenChipFreeDetector:
+    """Fit the full three-stage detector on the resolved experiment data."""
+    data = _resolve_data(args)
+    detector = GoldenChipFreeDetector(_detector_config(args))
+    detector.fit_premanufacturing(data.sim_pcms, data.sim_fingerprints)
+    detector.fit_silicon(data.dutt_pcms)
+    return detector
+
+
+def _cmd_export_bundle(args) -> int:
+    detector = _fit_detector(args)
+    info = detector.export_bundle(args.output)
+    print(f"wrote bundle {info.path}")
+    print(f"  boundaries:     {', '.join(info.header['detector']['boundaries'])}")
+    print(f"  schema version: {info.schema_version}")
+    print(f"  digest:         {info.digest}")
+    args._serve = {
+        "bundle": str(info.path),
+        "digest": info.digest,
+        "schema_version": info.schema_version,
+    }
+    args._results = dict(args._serve)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve.server import DetectorServer
+
+    server = DetectorServer(
+        args.bundle,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue,
+    )
+    summary = server.bundle_summary()
+    args._serve = {
+        "bundle": summary["path"],
+        "digest": summary["digest"],
+        "schema_version": summary["schema_version"],
+    }
+    print(f"serving {summary['path']}")
+    print(f"  boundaries: {', '.join(summary['boundaries'])}")
+    print(f"  digest:     {summary['digest']}")
+    print(f"  url:        {server.url}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        server.batcher.close()
+    return 0
+
+
+def _cmd_score(args) -> int:
+    data = load_experiment_data(args.data)
+    boundaries = args.boundary or None
+    if args.url:
+        from repro.serve.client import ScoringClient
+
+        result = ScoringClient(args.url).score(
+            data.dutt_fingerprints, boundaries=boundaries
+        )
+        source = args.url
+    else:
+        from repro.serve.bundle import load_bundle
+        from repro.serve.engine import ScoringEngine
+
+        loaded = load_bundle(args.bundle)
+        args._serve = {
+            "bundle": loaded.path,
+            "digest": loaded.digest,
+            "schema_version": int(loaded.header["schema_version"]),
+        }
+        result = ScoringEngine(loaded.detector).score(
+            data.dutt_fingerprints, boundaries=boundaries
+        )
+        source = args.bundle
+    print(f"scored {result.n_devices} devices against {source}")
+    flagged = {}
+    for name in sorted(result.verdicts):
+        count = int((~result.verdicts[name]).sum())
+        flagged[name] = count
+        print(f"  {name}: flagged {count} of {result.n_devices}")
+    args._results = {"n_devices": result.n_devices, "flagged": flagged}
+    return 0
+
+
 def _resolve_run_path(run: str) -> str:
     """Map a run id / run directory / manifest path onto an existing path."""
     if os.path.exists(run):
@@ -269,6 +362,59 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("action", choices=["stats", "clear"])
     cache.set_defaults(handler=_cmd_cache)
 
+    export_bundle = commands.add_parser(
+        "export-bundle",
+        help="fit a detector and export it as a repro-bundle-v1 file",
+    )
+    export_bundle.add_argument("output", help="target bundle .npz path")
+    _add_common(export_bundle)
+    export_bundle.set_defaults(handler=_cmd_export_bundle)
+
+    serve = commands.add_parser(
+        "serve", help="serve a detector bundle over the HTTP screening API"
+    )
+    serve.add_argument("bundle", help="repro-bundle-v1 file to serve")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8642,
+        help="bind port (0 = pick an ephemeral port)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=256,
+        help="devices per micro-batch scoring pass",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="micro-batch straggler window in milliseconds",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=1024,
+        help="queued-request bound; beyond it requests get HTTP 429",
+    )
+    serve.add_argument(
+        "--log-level", type=str, default="warning",
+        choices=["debug", "info", "warning", "error"],
+        help="logging verbosity of the repro.* loggers",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    score = commands.add_parser(
+        "score", help="screen a measured population against a detector"
+    )
+    score.add_argument(
+        "--data", required=True,
+        help=".npz written by the generate command (the DUTT fingerprints)",
+    )
+    target = score.add_mutually_exclusive_group(required=True)
+    target.add_argument("--bundle", help="score in-process against this bundle")
+    target.add_argument("--url", help="score against a running serve instance")
+    score.add_argument(
+        "--boundary", action="append", choices=["B1", "B2", "B3", "B4", "B5"],
+        help="boundary subset to score (repeatable; default: all in bundle)",
+    )
+    _add_obs(score)
+    score.set_defaults(handler=_cmd_score)
+
     return parser
 
 
@@ -328,6 +474,7 @@ def _run_traced(args, argv: List[str]) -> int:
         spans=[entry.to_dict() for entry in spans],
         results=getattr(args, "_results", None),
         cache=artifact_cache.provenance(),
+        serve=getattr(args, "_serve", None),
     )
     path = write_manifest(manifest, run_dir)
     with JsonlSink(os.path.join(run_dir, "events.jsonl")) as sink:

@@ -83,6 +83,7 @@ class TrustedRegion:
         else:
             self._learner = EllipticEnvelope(contamination=nu)
         self.n_training_samples_: Optional[int] = None
+        self.n_features_: Optional[int] = None
 
     def fit(self, population) -> "TrustedRegion":
         """Learn the boundary enclosing a golden fingerprint ``population``."""
@@ -90,6 +91,7 @@ class TrustedRegion:
         with span("boundary.fit", boundary=self.name, method=self.method,
                   n=int(population.shape[0])):
             self.n_training_samples_ = population.shape[0]
+            self.n_features_ = population.shape[1]
             floor_sigma = self.noise_floor_rel * float(np.mean(np.abs(population)))
             self._whitener = Whitener(
                 floor_ratio=self.floor_ratio, floor_sigma=floor_sigma
@@ -102,15 +104,41 @@ class TrustedRegion:
         if self.n_training_samples_ is None:
             raise RuntimeError(f"TrustedRegion {self.name!r} must be fitted before use")
 
-    def decision_scores(self, fingerprints) -> np.ndarray:
-        """Decision values; >= 0 means inside the trusted region."""
+    def decision_scores(self, fingerprints, validate: bool = True) -> np.ndarray:
+        """Decision values; >= 0 means inside the trusted region.
+
+        ``validate=False`` skips the shape/finiteness coercion for callers
+        that already validated the batch once (e.g. the pipeline's
+        :meth:`~repro.core.pipeline.GoldenChipFreeDetector.classify_batch`,
+        which scores the same device block against several boundaries) —
+        the scores themselves are identical either way.
+        """
         self._check_fitted()
-        fingerprints = check_2d(fingerprints, "fingerprints")
+        if validate:
+            fingerprints = check_2d(fingerprints, "fingerprints")
+            if fingerprints.shape[1] != self.n_features:
+                raise ValueError(
+                    f"fingerprints have {fingerprints.shape[1]} features, "
+                    f"boundary {self.name!r} was trained on {self.n_features}"
+                )
         return self._learner.decision_function(self._whitener.transform(fingerprints))
 
     def predict_trojan_free(self, fingerprints) -> np.ndarray:
         """Boolean array: True where a device is classified Trojan-free."""
         return self.decision_scores(fingerprints) >= 0.0
+
+    @property
+    def n_features(self) -> Optional[int]:
+        """Feature width the boundary was trained on (``None`` before fit).
+
+        Falls back to the whitener's mean width for boundaries restored
+        from state written before the width was recorded explicitly.
+        """
+        if self.n_features_ is not None:
+            return self.n_features_
+        if self._whitener is not None and self._whitener.mean_ is not None:
+            return int(self._whitener.mean_.shape[0])
+        return None
 
     @property
     def whitener(self) -> Whitener:
@@ -144,6 +172,7 @@ class TrustedRegion:
             "whitener": self._whitener,
             "learner": self._learner,
             "n_training_samples": int(self.n_training_samples_),
+            "n_features": None if self.n_features is None else int(self.n_features),
         }
 
     @classmethod
@@ -153,4 +182,8 @@ class TrustedRegion:
         region._whitener = state["whitener"]
         region._learner = state["learner"]
         region.n_training_samples_ = int(state["n_training_samples"])
+        # Entries written before the width was recorded lack the key; the
+        # n_features property then derives it from the whitener.
+        width = state.get("n_features")
+        region.n_features_ = None if width is None else int(width)
         return region

@@ -17,7 +17,8 @@ against a chosen boundary; compute FP/FN.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import dataclasses
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -67,6 +68,8 @@ class GoldenChipFreeDetector:
         self.boundaries: Dict[str, TrustedRegion] = {}
         self.regressions_ = None
         self._sim_pcms: Optional[np.ndarray] = None
+        self.n_pcm_features_: Optional[int] = None
+        self.n_fingerprint_features_: Optional[int] = None
         # Independent child generators per stochastic step, all derived from
         # the master seed: [S2 KDE, KMM resample, S5 KDE, B1, B2, B3, B4, B5].
         # SeedSequence spawning is prefix-stable, so the first three streams
@@ -121,6 +124,8 @@ class GoldenChipFreeDetector:
         sim_fingerprints = check_2d(sim_fingerprints, "sim_fingerprints")
         with span("pipeline.fit_premanufacturing", n_sim=int(sim_pcms.shape[0])):
             self._sim_pcms = sim_pcms
+            self.n_pcm_features_ = int(sim_pcms.shape[1])
+            self.n_fingerprint_features_ = int(sim_fingerprints.shape[1])
             with span("regression.train", mode=self.config.regression_mode):
                 self.regressions_ = self._cached(
                     "regressions",
@@ -156,6 +161,11 @@ class GoldenChipFreeDetector:
         """Anchor the trusted region in silicon via the DUTTs' PCMs."""
         if self.regressions_ is None:
             raise RuntimeError("fit_premanufacturing must run before fit_silicon")
+        if self._sim_pcms is None:
+            raise RuntimeError(
+                "this detector was restored from exported state and is "
+                "inference-only; refit from raw data to run fit_silicon"
+            )
         dutt_pcms = check_2d(dutt_pcms, "dutt_pcms")
         if dutt_pcms.shape[1] != self._sim_pcms.shape[1]:
             raise ValueError(
@@ -261,28 +271,138 @@ class GoldenChipFreeDetector:
     # stage 3: trojan test
     # ------------------------------------------------------------------
 
+    def _validate_fingerprints(self, fingerprints) -> np.ndarray:
+        """Shared scoring-entry validator (same contract as the fit entries).
+
+        Raw user arrays reach ``classify``/``evaluate`` directly in the
+        serving flow, so they get the identical shape/dtype/finiteness
+        coercion the ``fit_*`` entries apply, plus a feature-width check
+        against the training population — degenerate inputs fail loudly
+        instead of silently mis-classifying.
+        """
+        fingerprints = check_2d(fingerprints, "fingerprints")
+        expected = self.n_fingerprint_features_
+        if expected is not None and fingerprints.shape[1] != expected:
+            raise ValueError(
+                f"fingerprints have {fingerprints.shape[1]} features, "
+                f"detector was trained on {expected}"
+            )
+        return fingerprints
+
+    def _resolve_boundaries(self, boundaries) -> Tuple[str, ...]:
+        """Normalize a boundary subset request against the trained set."""
+        if boundaries is None:
+            names = tuple(n for n in BOUNDARY_NAMES if n in self.boundaries)
+            if not names:
+                raise RuntimeError("no boundaries trained yet")
+            return names
+        if isinstance(boundaries, str):
+            boundaries = (boundaries,)
+        names = tuple(boundaries)
+        for name in names:
+            if name not in self.boundaries:
+                raise KeyError(
+                    f"boundary {name!r} not trained; available: "
+                    f"{sorted(self.boundaries)}"
+                )
+        return names
+
     def classify(self, fingerprints, boundary: str = "B5") -> np.ndarray:
         """Classify DUTT fingerprints; True = Trojan-free (inside region)."""
-        if boundary not in self.boundaries:
-            raise KeyError(
-                f"boundary {boundary!r} not trained; available: "
-                f"{sorted(self.boundaries)}"
-            )
-        return self.boundaries[boundary].predict_trojan_free(fingerprints)
+        (name,) = self._resolve_boundaries(boundary)
+        fingerprints = self._validate_fingerprints(fingerprints)
+        return self.boundaries[name].decision_scores(
+            fingerprints, validate=False
+        ) >= 0.0
+
+    def decision_scores_batch(
+        self, fingerprints, boundaries: Optional[Iterable[str]] = None
+    ) -> Dict[str, np.ndarray]:
+        """Decision scores of one device batch against several boundaries.
+
+        The batch is validated **once** and every requested boundary scores
+        the same float64 block (each reusing its precomputed support-vector
+        norms), so per-boundary overhead amortizes across the subset.
+        Scores are bit-identical to per-boundary :meth:`classify` calls.
+        """
+        names = self._resolve_boundaries(boundaries)
+        fingerprints = self._validate_fingerprints(fingerprints)
+        return {
+            name: self.boundaries[name].decision_scores(fingerprints, validate=False)
+            for name in names
+        }
+
+    def classify_batch(
+        self, fingerprints, boundaries: Optional[Iterable[str]] = None
+    ) -> Dict[str, np.ndarray]:
+        """Per-boundary Trojan-free verdicts for one validated device batch."""
+        scores = self.decision_scores_batch(fingerprints, boundaries=boundaries)
+        return {name: values >= 0.0 for name, values in scores.items()}
 
     def evaluate(self, fingerprints, infested) -> Dict[str, DetectionMetrics]:
         """FP/FN of every trained boundary over a labelled DUTT population."""
-        fingerprints = check_2d(fingerprints, "fingerprints")
+        fingerprints = self._validate_fingerprints(fingerprints)
+        infested = np.asarray(infested)
+        if infested.ndim != 1 or infested.shape[0] != fingerprints.shape[0]:
+            raise ValueError(
+                f"infested must be 1-D with one label per device, got shape "
+                f"{infested.shape} for {fingerprints.shape[0]} devices"
+            )
         results = {}
         with span("pipeline.evaluate", n_devices=int(fingerprints.shape[0])):
-            for name in BOUNDARY_NAMES:
-                if name in self.boundaries:
-                    predictions = self.classify(fingerprints, boundary=name)
-                    results[name] = evaluate_detection(predictions, infested)
-                    obs_metrics.gauge(f"detect.{name}.fp_count").set(
-                        results[name].fp_count
-                    )
-                    obs_metrics.gauge(f"detect.{name}.fn_count").set(
-                        results[name].fn_count
-                    )
+            verdicts = self.classify_batch(fingerprints)
+            for name, predictions in verdicts.items():
+                results[name] = evaluate_detection(predictions, infested)
+                obs_metrics.gauge(f"detect.{name}.fp_count").set(
+                    results[name].fp_count
+                )
+                obs_metrics.gauge(f"detect.{name}.fn_count").set(
+                    results[name].fn_count
+                )
         return results
+
+    # ------------------------------------------------------------------
+    # export / restore (the serving flow's train-once artifact)
+    # ------------------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Codec state of the fitted detector (see :mod:`repro.cache.codec`).
+
+        Captures everything inference needs — config, every trained
+        boundary, the PCM regressions and the feature widths — and nothing
+        training-only (datasets, RNG streams, the simulated PCM population).
+        A restored detector classifies bit-identically but is
+        **inference-only**: refitting it would need the dropped streams.
+        """
+        if not self.boundaries:
+            raise RuntimeError("cannot export an unfitted detector")
+        return {
+            "config": dataclasses.asdict(self.config),
+            "boundaries": {name: region
+                           for name, region in sorted(self.boundaries.items())},
+            "regressions": self.regressions_,
+            "n_pcm_features": self.n_pcm_features_,
+            "n_fingerprint_features": self.n_fingerprint_features_,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "GoldenChipFreeDetector":
+        """Rebuild an inference-ready detector from :meth:`to_state` output."""
+        detector = cls(DetectorConfig(**state["config"]))
+        detector.boundaries = dict(state["boundaries"])
+        detector.regressions_ = state.get("regressions")
+        width = state.get("n_pcm_features")
+        detector.n_pcm_features_ = None if width is None else int(width)
+        width = state.get("n_fingerprint_features")
+        detector.n_fingerprint_features_ = None if width is None else int(width)
+        return detector
+
+    def export_bundle(self, path, **manifest_extra):
+        """Export the fitted detector as a ``repro-bundle-v1`` file.
+
+        Convenience hook over :func:`repro.serve.bundle.export_bundle`;
+        returns the written :class:`~repro.serve.bundle.BundleInfo`.
+        """
+        from repro.serve.bundle import export_bundle
+
+        return export_bundle(self, path, **manifest_extra)

@@ -109,6 +109,7 @@ class RunManifest:
     spans: List[dict] = field(default_factory=list)
     results: Optional[dict] = None
     cache: Optional[dict] = None
+    serve: Optional[dict] = None
     schema_version: int = MANIFEST_SCHEMA_VERSION
 
     def to_dict(self) -> dict:
@@ -127,6 +128,7 @@ class RunManifest:
             "spans": list(self.spans),
             "results": self.results,
             "cache": self.cache,
+            "serve": self.serve,
         }
 
     @classmethod
@@ -145,6 +147,7 @@ class RunManifest:
             spans=list(data.get("spans", [])),
             results=data.get("results"),
             cache=data.get("cache"),
+            serve=data.get("serve"),
             schema_version=int(data.get("schema_version", MANIFEST_SCHEMA_VERSION)),
         )
 

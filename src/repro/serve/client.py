@@ -1,0 +1,142 @@
+"""Typed Python client for the screening service (stdlib ``urllib`` only).
+
+Used by the test suite, the load generator and the ``repro.cli score``
+command; doubles as executable documentation of the wire format::
+
+    client = ScoringClient("http://127.0.0.1:8642")
+    client.wait_ready()
+    result = client.score(fingerprints, boundaries=["B5"])
+    result.verdicts["B5"]        # boolean array, True = Trojan-free
+    client.metrics()["counters"]["serve.devices_scored"]
+
+Errors come back as :class:`ServerError` carrying the HTTP status and the
+server's structured ``{"code", "message"}`` error body.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.serve.engine import ScoreResult
+
+
+class ServerError(RuntimeError):
+    """The server answered with an error status."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(f"HTTP {status} [{code}]: {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class ScoringClient:
+    """Minimal JSON-over-HTTP client for a :class:`DetectorServer`.
+
+    Parameters
+    ----------
+    base_url:
+        Server root, e.g. ``"http://127.0.0.1:8642"``.
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> dict:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                return json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raise self._to_server_error(error)
+
+    @staticmethod
+    def _to_server_error(error: urllib.error.HTTPError) -> ServerError:
+        code, message = "unknown", error.reason
+        try:
+            parsed = json.loads(error.read().decode("utf-8"))
+            code = parsed["error"]["code"]
+            message = parsed["error"]["message"]
+        except Exception:
+            pass
+        return ServerError(error.code, code, message)
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def ready(self) -> bool:
+        """``GET /readyz``; False on 503 instead of raising."""
+        try:
+            return self._request("GET", "/readyz").get("status") == "ready"
+        except ServerError as error:
+            if error.status == 503:
+                return False
+            raise
+
+    def wait_ready(self, timeout: float = 10.0, interval: float = 0.05) -> None:
+        """Poll ``/readyz`` until ready or ``timeout`` seconds elapsed."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                if self.ready():
+                    return
+            except (urllib.error.URLError, ConnectionError, OSError):
+                pass
+            time.sleep(interval)
+        raise TimeoutError(f"server at {self.base_url} not ready "
+                           f"after {timeout}s")
+
+    def metrics(self) -> dict:
+        """``GET /metricz``: the serving metrics snapshot."""
+        return self._request("GET", "/metricz")
+
+    def score(
+        self, fingerprints, boundaries: Optional[Iterable[str]] = None
+    ) -> ScoreResult:
+        """``POST /v1/score``: screen one device or one batch.
+
+        Returns the same :class:`~repro.serve.engine.ScoreResult` shape the
+        in-process engine produces (scores/verdicts as numpy arrays).
+        """
+        array = np.asarray(fingerprints, dtype=float)
+        payload: dict = {"fingerprints": array.tolist()}
+        if boundaries is not None:
+            payload["boundaries"] = list(boundaries)
+        reply = self._request("POST", "/v1/score", payload)
+        scores = {
+            name: np.asarray(block["scores"], dtype=float)
+            for name, block in reply["boundaries"].items()
+        }
+        verdicts = {
+            name: np.asarray(block["trojan_free"], dtype=bool)
+            for name, block in reply["boundaries"].items()
+        }
+        return ScoreResult(
+            scores=scores, verdicts=verdicts, n_devices=int(reply["n_devices"])
+        )

@@ -1,0 +1,428 @@
+"""Scoring engine: validated, vectorized, micro-batched Trojan screening.
+
+Two layers, both thread-safe:
+
+* :class:`ScoringEngine` — the synchronous core.  Every request is
+  validated loudly (2-D shape, float-coercible dtype, finiteness, feature
+  width, batch-size cap) before a single boundary sees it; a structured
+  :class:`RequestValidationError` names exactly what was wrong, and nothing
+  degenerate can silently mis-classify.  Valid batches are scored against
+  any subset of B1..B5 in one vectorized pass
+  (:meth:`~repro.core.pipeline.GoldenChipFreeDetector.decision_scores_batch`:
+  the batch is validated once and every boundary reuses its precomputed
+  support-vector norms).
+
+* :class:`BatchingEngine` — the asynchronous front.  Requests queue into a
+  bounded, arrival-ordered (FIFO — no request can starve) queue; a worker
+  thread drains up to ``max_batch`` devices per wake-up, waiting at most
+  ``max_wait_ms`` for stragglers, stacks them into one array and scores
+  them in a single engine pass, so per-device overhead amortizes across
+  concurrent clients.  When the queue is full, ``submit`` fails immediately
+  with :class:`QueueFullError` — explicit 429-style backpressure instead of
+  unbounded buffering.
+
+The engine owns a private :class:`repro.obs.metrics.MetricsRegistry`
+(``serve.requests``, ``serve.devices_scored``, the ``serve.batch_size`` and
+``serve.latency_ms`` histograms, the ``serve.queue_depth`` gauge and
+per-boundary verdict counters); the server's ``GET /metricz`` endpoint
+snapshots it without touching the process-global observability session.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Hard cap on devices per request; a screening service should reject a
+#: runaway payload rather than attempt a multi-gigabyte kernel block.
+DEFAULT_MAX_REQUEST_DEVICES = 10_000
+
+
+class RequestValidationError(ValueError):
+    """A request failed input validation; ``code`` is machine-readable."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+class QueueFullError(RuntimeError):
+    """The batching queue is at capacity (429-style backpressure)."""
+
+    def __init__(self, depth: int):
+        super().__init__(
+            f"scoring queue is full ({depth} queued requests); retry later"
+        )
+        self.depth = depth
+
+
+@dataclass(frozen=True)
+class ScoreResult:
+    """One scored request: per-boundary scores + verdicts."""
+
+    scores: Dict[str, np.ndarray]
+    verdicts: Dict[str, np.ndarray]
+    n_devices: int
+
+    def to_json(self) -> dict:
+        """JSON-ready representation (the HTTP response body)."""
+        return {
+            "n_devices": self.n_devices,
+            "boundaries": {
+                name: {
+                    "trojan_free": [bool(v) for v in self.verdicts[name]],
+                    "scores": [float(s) for s in self.scores[name]],
+                }
+                for name in self.scores
+            },
+        }
+
+
+class ScoringEngine:
+    """Validated, vectorized scoring of device batches against B1..B5.
+
+    Parameters
+    ----------
+    detector:
+        A fitted (or bundle-restored) ``GoldenChipFreeDetector``.
+    default_boundaries:
+        Boundary subset scored when a request names none (default: every
+        trained boundary, pipeline order).
+    max_request_devices:
+        Reject requests with more devices than this (structured error, not
+        an out-of-memory crash).
+    registry:
+        Metrics registry to record into (a private one by default).
+    """
+
+    def __init__(
+        self,
+        detector,
+        default_boundaries: Optional[Iterable[str]] = None,
+        max_request_devices: int = DEFAULT_MAX_REQUEST_DEVICES,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if not getattr(detector, "boundaries", None):
+            raise ValueError("detector has no trained boundaries to serve")
+        if max_request_devices < 1:
+            raise ValueError(
+                f"max_request_devices must be positive, got {max_request_devices}"
+            )
+        self.detector = detector
+        self.available = tuple(
+            name for name in ("B1", "B2", "B3", "B4", "B5")
+            if name in detector.boundaries
+        )
+        self.default_boundaries = (
+            tuple(default_boundaries) if default_boundaries else self.available
+        )
+        for name in self.default_boundaries:
+            if name not in self.available:
+                raise ValueError(
+                    f"default boundary {name!r} not in bundle "
+                    f"(available: {list(self.available)})"
+                )
+        self.max_request_devices = int(max_request_devices)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+
+    @property
+    def n_features(self) -> Optional[int]:
+        """Fingerprint width the detector expects (None = first boundary's)."""
+        width = self.detector.n_fingerprint_features_
+        if width is not None:
+            return width
+        return self.detector.boundaries[self.available[0]].n_features
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def validate_request(
+        self, fingerprints, boundaries: Optional[Iterable[str]] = None
+    ) -> Tuple[np.ndarray, Tuple[str, ...]]:
+        """Coerce and check one request; raise :class:`RequestValidationError`.
+
+        Accepts an ``(n, d)`` batch or a single ``(d,)`` device (promoted to
+        a one-row batch).  Checks run in cheapest-first order so malformed
+        payloads are rejected before any O(n*d) work.
+        """
+        if boundaries is None:
+            names: Tuple[str, ...] = self.default_boundaries
+        else:
+            if isinstance(boundaries, str):
+                boundaries = (boundaries,)
+            names = tuple(boundaries)
+            if not names:
+                raise RequestValidationError(
+                    "empty_boundaries", "request names an empty boundary list"
+                )
+            for name in names:
+                if name not in self.available:
+                    raise RequestValidationError(
+                        "unknown_boundary",
+                        f"boundary {name!r} not available "
+                        f"(bundle carries {list(self.available)})",
+                    )
+        try:
+            array = np.asarray(fingerprints, dtype=float)
+        except (TypeError, ValueError):
+            raise RequestValidationError(
+                "bad_dtype", "fingerprints are not numeric"
+            )
+        if array.ndim == 1:
+            array = array[None, :]
+        if array.ndim != 2:
+            raise RequestValidationError(
+                "bad_shape",
+                f"fingerprints must be (devices x features), got shape "
+                f"{array.shape}",
+            )
+        if array.shape[0] == 0:
+            raise RequestValidationError(
+                "empty_batch", "request contains no devices"
+            )
+        if array.shape[0] > self.max_request_devices:
+            raise RequestValidationError(
+                "too_large",
+                f"request has {array.shape[0]} devices, cap is "
+                f"{self.max_request_devices}",
+            )
+        expected = self.n_features
+        if expected is not None and array.shape[1] != expected:
+            raise RequestValidationError(
+                "bad_width",
+                f"fingerprints have {array.shape[1]} features, detector "
+                f"expects {expected}",
+            )
+        if not np.all(np.isfinite(array)):
+            raise RequestValidationError(
+                "non_finite", "fingerprints contain NaN or infinite values"
+            )
+        return array, names
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+
+    def score(
+        self, fingerprints, boundaries: Optional[Iterable[str]] = None
+    ) -> ScoreResult:
+        """Validate and score one request (thread-safe)."""
+        start = time.perf_counter()
+        array, names = self.validate_request(fingerprints, boundaries)
+        with self._lock:
+            scores = self.detector.decision_scores_batch(array, boundaries=names)
+        verdicts = {name: values >= 0.0 for name, values in scores.items()}
+        self._record(array.shape[0], verdicts, time.perf_counter() - start)
+        return ScoreResult(
+            scores=scores, verdicts=verdicts, n_devices=int(array.shape[0])
+        )
+
+    def _record(self, n_devices: int, verdicts: Dict[str, np.ndarray],
+                seconds: float) -> None:
+        registry = self.registry
+        registry.counter("serve.requests").inc()
+        registry.counter("serve.devices_scored").inc(n_devices)
+        registry.histogram("serve.batch_size").observe(n_devices)
+        registry.histogram("serve.latency_ms").observe(seconds * 1e3)
+        for name, flags in verdicts.items():
+            passed = int(np.sum(flags))
+            registry.counter(f"serve.verdicts.{name}.trojan_free").inc(passed)
+            registry.counter(f"serve.verdicts.{name}.flagged").inc(
+                len(flags) - passed
+            )
+
+    def metrics_snapshot(self) -> dict:
+        """JSON-ready snapshot of the engine's metrics registry."""
+        return self.registry.snapshot()
+
+
+class _PendingRequest:
+    """One queued request: inputs + a completion event."""
+
+    __slots__ = ("fingerprints", "names", "event", "result", "error")
+
+    def __init__(self, fingerprints: np.ndarray, names: Tuple[str, ...]):
+        self.fingerprints = fingerprints
+        self.names = names
+        self.event = threading.Event()
+        self.result: Optional[ScoreResult] = None
+        self.error: Optional[BaseException] = None
+
+
+class BatchingEngine:
+    """Micro-batching front over a :class:`ScoringEngine`.
+
+    ``submit`` validates immediately (a malformed request must never poison
+    a batch), enqueues, and blocks until the worker thread has scored the
+    request as part of a micro-batch.  Requests sharing a boundary subset
+    are stacked into one array and scored in a single vectorized pass.
+
+    Parameters
+    ----------
+    engine:
+        The synchronous scoring engine.
+    max_batch:
+        Maximum devices drained into one scoring pass.
+    max_wait_ms:
+        How long the worker waits for stragglers after the first queued
+        request before closing the batch.
+    max_queue:
+        Bound on queued requests; beyond it ``submit`` raises
+        :class:`QueueFullError` immediately.
+    """
+
+    def __init__(
+        self,
+        engine: ScoringEngine,
+        max_batch: int = 256,
+        max_wait_ms: float = 2.0,
+        max_queue: int = 1024,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be positive, got {max_queue}")
+        self.engine = engine
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self.max_queue = int(max_queue)
+        self._queue: deque = deque()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run, name="repro-serve-batcher", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, fingerprints, boundaries: Optional[Iterable[str]] = None,
+        timeout: Optional[float] = 30.0,
+    ) -> ScoreResult:
+        """Queue one request and block until its batch was scored."""
+        array, names = self.engine.validate_request(fingerprints, boundaries)
+        request = _PendingRequest(array, names)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("BatchingEngine is closed")
+            if len(self._queue) >= self.max_queue:
+                self.engine.registry.counter("serve.rejected").inc()
+                raise QueueFullError(len(self._queue))
+            self._queue.append(request)
+            self.engine.registry.gauge("serve.queue_depth").set(len(self._queue))
+            self._wakeup.notify()
+        if not request.event.wait(timeout):
+            raise TimeoutError("scoring request timed out")
+        if request.error is not None:
+            raise request.error
+        return request.result
+
+    def close(self) -> None:
+        """Stop the worker after it drains and scores what is already queued."""
+        with self._lock:
+            self._closed = True
+            self._wakeup.notify_all()
+        self._worker.join(timeout=5.0)
+
+    def __enter__(self) -> "BatchingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of requests currently queued."""
+        with self._lock:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+
+    def _drain_batch(self) -> List[_PendingRequest]:
+        """Collect up to ``max_batch`` devices, FIFO, waiting for stragglers."""
+        with self._lock:
+            while not self._queue and not self._closed:
+                self._wakeup.wait()
+            if self._closed and not self._queue:
+                return []
+        # Straggler window: let concurrent submitters land in this batch.
+        if self.max_wait_ms > 0:
+            deadline = time.monotonic() + self.max_wait_ms / 1e3
+            while time.monotonic() < deadline:
+                with self._lock:
+                    devices = sum(r.fingerprints.shape[0] for r in self._queue)
+                    if devices >= self.max_batch or self._closed:
+                        break
+                time.sleep(min(0.0005, self.max_wait_ms / 1e3))
+        batch: List[_PendingRequest] = []
+        devices = 0
+        with self._lock:
+            while self._queue:
+                request = self._queue[0]
+                size = request.fingerprints.shape[0]
+                if batch and devices + size > self.max_batch:
+                    break
+                batch.append(self._queue.popleft())
+                devices += size
+            self.engine.registry.gauge("serve.queue_depth").set(len(self._queue))
+        return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._drain_batch()
+            if not batch:
+                with self._lock:
+                    if self._closed and not self._queue:
+                        return
+                continue
+            self._score_batch(batch)
+
+    def _score_batch(self, batch: List[_PendingRequest]) -> None:
+        # Group by requested boundary subset: each group becomes one
+        # stacked array and one vectorized scoring pass.
+        groups: Dict[Tuple[str, ...], List[_PendingRequest]] = {}
+        for request in batch:
+            groups.setdefault(request.names, []).append(request)
+        for names, members in groups.items():
+            try:
+                stacked = (
+                    members[0].fingerprints
+                    if len(members) == 1
+                    else np.concatenate([m.fingerprints for m in members], axis=0)
+                )
+                result = self.engine.score(stacked, boundaries=names)
+                offset = 0
+                for member in members:
+                    n = member.fingerprints.shape[0]
+                    member.result = ScoreResult(
+                        scores={k: v[offset:offset + n]
+                                for k, v in result.scores.items()},
+                        verdicts={k: v[offset:offset + n]
+                                  for k, v in result.verdicts.items()},
+                        n_devices=n,
+                    )
+                    offset += n
+            except BaseException as error:  # surface to every waiter
+                for member in members:
+                    member.error = error
+            finally:
+                for member in members:
+                    member.event.set()

@@ -78,6 +78,60 @@ class TestDegenerateInputs:
         assert np.isfinite(resampled).all()
 
 
+class TestScoringEntryValidation:
+    """classify/evaluate run the same loud input contract as the fit entries."""
+
+    def test_nan_fingerprints_rejected_at_classify(self, fitted_detector,
+                                                   experiment_data):
+        bad = experiment_data.dutt_fingerprints.copy()
+        bad[2, 3] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            fitted_detector.classify(bad)
+
+    def test_inf_fingerprints_rejected_at_evaluate(self, fitted_detector,
+                                                   experiment_data):
+        bad = experiment_data.dutt_fingerprints.copy()
+        bad[0, 0] = np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            fitted_detector.evaluate(bad, experiment_data.infested)
+
+    def test_wrong_feature_width_rejected(self, fitted_detector,
+                                          experiment_data):
+        narrow = experiment_data.dutt_fingerprints[:, :-1]
+        with pytest.raises(ValueError, match="trained on"):
+            fitted_detector.classify(narrow)
+        with pytest.raises(ValueError, match="trained on"):
+            fitted_detector.evaluate(narrow, experiment_data.infested)
+
+    def test_1d_fingerprints_rejected(self, fitted_detector,
+                                      experiment_data):
+        with pytest.raises(ValueError, match="2-D"):
+            fitted_detector.classify(experiment_data.dutt_fingerprints[0])
+
+    def test_mismatched_infested_length_rejected(self, fitted_detector,
+                                                 experiment_data):
+        with pytest.raises(ValueError, match="one label per device"):
+            fitted_detector.evaluate(
+                experiment_data.dutt_fingerprints,
+                experiment_data.infested[:-1],
+            )
+
+    def test_untrained_boundary_rejected(self, fitted_detector,
+                                         experiment_data):
+        with pytest.raises(KeyError, match="B7"):
+            fitted_detector.classify(experiment_data.dutt_fingerprints,
+                                     boundary="B7")
+
+    def test_batch_entries_share_the_contract(self, fitted_detector,
+                                              experiment_data):
+        bad = experiment_data.dutt_fingerprints.copy()
+        bad[1, 1] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            fitted_detector.decision_scores_batch(bad)
+        with pytest.raises(ValueError, match="non-finite"):
+            fitted_detector.classify_batch(bad)
+
+
 class TestHostileMeasurements:
     def test_wildly_corrupted_fingerprints_are_flagged(self, fitted_detector,
                                                        experiment_data):

@@ -1,0 +1,272 @@
+"""Scoring-engine tests: validation codes, vectorized parity, micro-batching.
+
+Covers the synchronous :class:`ScoringEngine` (every structured rejection
+code, parity with the detector's own ``classify``) and the asynchronous
+:class:`BatchingEngine` (per-request result slicing under concurrency,
+FIFO backpressure, clean shutdown).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import BOUNDARY_NAMES
+from repro.serve.engine import (
+    BatchingEngine,
+    QueueFullError,
+    RequestValidationError,
+    ScoringEngine,
+)
+
+
+@pytest.fixture(scope="module")
+def engine(fitted_detector):
+    return ScoringEngine(fitted_detector)
+
+
+def _code(excinfo) -> str:
+    return excinfo.value.code
+
+
+class TestValidation:
+    def test_non_numeric_is_bad_dtype(self, engine):
+        with pytest.raises(RequestValidationError) as err:
+            engine.validate_request([["a", "b"]])
+        assert _code(err) == "bad_dtype"
+
+    def test_ragged_rows_are_bad_dtype(self, engine):
+        with pytest.raises(RequestValidationError) as err:
+            engine.validate_request([[1.0, 2.0], [3.0]])
+        assert _code(err) == "bad_dtype"
+
+    def test_3d_array_is_bad_shape(self, engine):
+        with pytest.raises(RequestValidationError) as err:
+            engine.validate_request(np.zeros((2, 3, 4)))
+        assert _code(err) == "bad_shape"
+
+    def test_zero_devices_is_empty_batch(self, engine):
+        width = engine.n_features
+        with pytest.raises(RequestValidationError) as err:
+            engine.validate_request(np.empty((0, width)))
+        assert _code(err) == "empty_batch"
+
+    def test_device_cap_is_too_large(self, fitted_detector):
+        capped = ScoringEngine(fitted_detector, max_request_devices=4)
+        batch = np.zeros((5, capped.n_features))
+        with pytest.raises(RequestValidationError) as err:
+            capped.validate_request(batch)
+        assert _code(err) == "too_large"
+
+    def test_wrong_width_is_bad_width(self, engine):
+        with pytest.raises(RequestValidationError) as err:
+            engine.validate_request(np.zeros((2, engine.n_features + 1)))
+        assert _code(err) == "bad_width"
+
+    @pytest.mark.parametrize("poison", [np.nan, np.inf, -np.inf])
+    def test_non_finite_values(self, engine, poison):
+        batch = np.zeros((2, engine.n_features))
+        batch[1, 0] = poison
+        with pytest.raises(RequestValidationError) as err:
+            engine.validate_request(batch)
+        assert _code(err) == "non_finite"
+
+    def test_unknown_boundary(self, engine):
+        batch = np.zeros((1, engine.n_features))
+        with pytest.raises(RequestValidationError) as err:
+            engine.validate_request(batch, boundaries=["B9"])
+        assert _code(err) == "unknown_boundary"
+
+    def test_empty_boundary_list(self, engine):
+        batch = np.zeros((1, engine.n_features))
+        with pytest.raises(RequestValidationError) as err:
+            engine.validate_request(batch, boundaries=[])
+        assert _code(err) == "empty_boundaries"
+
+    def test_single_device_promoted_to_batch(self, engine, experiment_data):
+        array, names = engine.validate_request(
+            experiment_data.dutt_fingerprints[0]
+        )
+        assert array.shape == (1, engine.n_features)
+        assert names == tuple(BOUNDARY_NAMES)
+
+    def test_unknown_default_boundary_rejected(self, fitted_detector):
+        with pytest.raises(ValueError, match="default boundary"):
+            ScoringEngine(fitted_detector, default_boundaries=["B7"])
+
+    def test_unfitted_detector_rejected(self):
+        class _Bare:
+            boundaries = {}
+
+        with pytest.raises(ValueError, match="no trained boundaries"):
+            ScoringEngine(_Bare())
+
+
+class TestScoring:
+    def test_matches_detector_classify(self, engine, fitted_detector,
+                                       experiment_data):
+        fingerprints = experiment_data.dutt_fingerprints
+        result = engine.score(fingerprints)
+        expected = fitted_detector.decision_scores_batch(fingerprints)
+        for name in BOUNDARY_NAMES:
+            assert np.array_equal(result.scores[name], expected[name])
+            assert np.array_equal(
+                result.verdicts[name],
+                fitted_detector.classify(fingerprints, boundary=name),
+            )
+
+    def test_boundary_subset(self, engine, experiment_data):
+        result = engine.score(experiment_data.dutt_fingerprints[:3],
+                              boundaries=["B5", "B3"])
+        assert set(result.scores) == {"B3", "B5"}
+        assert result.n_devices == 3
+
+    def test_to_json_round_trips(self, engine, experiment_data):
+        result = engine.score(experiment_data.dutt_fingerprints[:2],
+                              boundaries=["B5"])
+        payload = result.to_json()
+        assert payload["n_devices"] == 2
+        block = payload["boundaries"]["B5"]
+        assert block["scores"] == [float(s) for s in result.scores["B5"]]
+        assert block["trojan_free"] == [bool(v) for v in result.verdicts["B5"]]
+
+    def test_metrics_are_recorded(self, fitted_detector, experiment_data):
+        engine = ScoringEngine(fitted_detector)
+        n = 7
+        engine.score(experiment_data.dutt_fingerprints[:n])
+        snapshot = engine.metrics_snapshot()
+        assert snapshot["counters"]["serve.requests"] == 1
+        assert snapshot["counters"]["serve.devices_scored"] == n
+        assert snapshot["histograms"]["serve.batch_size"]["count"] == 1
+        assert snapshot["histograms"]["serve.latency_ms"]["count"] == 1
+        for name in BOUNDARY_NAMES:
+            passed = snapshot["counters"][f"serve.verdicts.{name}.trojan_free"]
+            flagged = snapshot["counters"][f"serve.verdicts.{name}.flagged"]
+            assert passed + flagged == n
+
+
+class TestBatching:
+    def test_submit_matches_direct_score(self, engine, experiment_data):
+        fingerprints = experiment_data.dutt_fingerprints[:8]
+        with BatchingEngine(engine) as batcher:
+            batched = batcher.submit(fingerprints)
+        direct = engine.score(fingerprints)
+        for name in BOUNDARY_NAMES:
+            assert np.array_equal(batched.scores[name], direct.scores[name])
+
+    def test_concurrent_clients_get_their_own_slices(self, engine,
+                                                     experiment_data):
+        """Coalesced batches must slice back to per-request results exactly."""
+        fingerprints = experiment_data.dutt_fingerprints
+        expected = engine.score(fingerprints)
+        chunks = [(i, fingerprints[i:i + 3]) for i in
+                  range(0, fingerprints.shape[0] - 2, 3)]
+        results: dict = {}
+        errors: list = []
+
+        def client(offset, block):
+            try:
+                results[offset] = batcher.submit(block)
+            except BaseException as error:  # pragma: no cover - test plumbing
+                errors.append(error)
+
+        with BatchingEngine(engine, max_batch=64, max_wait_ms=5.0) as batcher:
+            threads = [threading.Thread(target=client, args=chunk)
+                       for chunk in chunks]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not errors
+        assert len(results) == len(chunks)
+        # Coalesced batches go through BLAS with a different stacked shape,
+        # which may perturb the last ULP — hence allclose, not array_equal.
+        for offset, result in results.items():
+            for name in BOUNDARY_NAMES:
+                np.testing.assert_allclose(
+                    result.scores[name], expected.scores[name][offset:offset + 3],
+                    rtol=1e-9, atol=1e-12, err_msg=f"{offset}/{name}",
+                )
+
+    def test_mixed_boundary_subsets_in_one_batch(self, engine,
+                                                 experiment_data):
+        fingerprints = experiment_data.dutt_fingerprints[:4]
+        subsets = [("B5",), ("B1", "B3"), None]
+        results = [None] * len(subsets)
+
+        def client(index, subset):
+            results[index] = batcher.submit(fingerprints, boundaries=subset)
+
+        with BatchingEngine(engine, max_wait_ms=5.0) as batcher:
+            threads = [threading.Thread(target=client, args=(i, s))
+                       for i, s in enumerate(subsets)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert set(results[0].scores) == {"B5"}
+        assert set(results[1].scores) == {"B1", "B3"}
+        assert set(results[2].scores) == set(BOUNDARY_NAMES)
+
+    def test_invalid_request_rejected_before_queueing(self, engine):
+        with BatchingEngine(engine) as batcher:
+            with pytest.raises(RequestValidationError):
+                batcher.submit(np.full((1, engine.n_features), np.nan))
+            assert batcher.queue_depth == 0
+
+    def test_backpressure_raises_queue_full(self, fitted_detector,
+                                            experiment_data):
+        """With the worker wedged and the queue full, submit fails fast."""
+        release = threading.Event()
+
+        class _WedgedEngine(ScoringEngine):
+            def score(self, fingerprints, boundaries=None):
+                release.wait(timeout=10)
+                return super().score(fingerprints, boundaries)
+
+        engine = _WedgedEngine(fitted_detector)
+        fingerprints = experiment_data.dutt_fingerprints[:2]
+        batcher = BatchingEngine(engine, max_wait_ms=0.0, max_queue=1)
+        try:
+            first = threading.Thread(
+                target=lambda: batcher.submit(fingerprints), daemon=True
+            )
+            first.start()
+            deadline = time.monotonic() + 5
+            # Wait for the worker to pull the first request and wedge on it.
+            while batcher.queue_depth != 0 and time.monotonic() < deadline:
+                time.sleep(0.001)
+            second = threading.Thread(
+                target=lambda: batcher.submit(fingerprints), daemon=True
+            )
+            second.start()
+            while batcher.queue_depth != 1 and time.monotonic() < deadline:
+                time.sleep(0.001)
+            assert batcher.queue_depth == 1
+            with pytest.raises(QueueFullError):
+                batcher.submit(fingerprints)
+            snapshot = engine.metrics_snapshot()
+            assert snapshot["counters"]["serve.rejected"] == 1
+        finally:
+            release.set()
+            batcher.close()
+        first.join(timeout=5)
+        second.join(timeout=5)
+        assert not first.is_alive() and not second.is_alive()
+
+    def test_submit_after_close_raises(self, engine, experiment_data):
+        batcher = BatchingEngine(engine)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(experiment_data.dutt_fingerprints[:1])
+
+    def test_knob_validation(self, engine):
+        with pytest.raises(ValueError, match="max_batch"):
+            BatchingEngine(engine, max_batch=0)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            BatchingEngine(engine, max_wait_ms=-1)
+        with pytest.raises(ValueError, match="max_queue"):
+            BatchingEngine(engine, max_queue=0)
