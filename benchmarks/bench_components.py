@@ -8,16 +8,20 @@ regressions in any one algorithm are visible in isolation:
 * MARS fit on the 100-device Monte Carlo data;
 * KMM weight computation (100 train x 120 test);
 * full silicon-measurement campaign for one device;
+* the 100-device Monte Carlo run through the batched population engine;
+* vectorized AES-128 on a (2048 devices x 6 blocks) uint8 batch;
 * batched B1..B5 classification of 2048 devices (the serving hot path).
 """
 
 import numpy as np
 
 from repro.core.datasets import train_regressions
+from repro.crypto.aes import aes128_encrypt_blocks
 from repro.learn.ocsvm import OneClassSvm
 from repro.stats.kde import AdaptiveKde
 from repro.stats.kmm import KernelMeanMatcher
 from repro.testbed.campaign import FingerprintCampaign
+from repro.circuits.montecarlo import MonteCarloEngine
 from repro.circuits.spicemodel import default_spice_deck
 from repro.silicon.foundry import Foundry
 
@@ -63,6 +67,28 @@ def test_device_measurement(benchmark):
 
     device = benchmark(lambda: campaign.measure_device(die))
     assert device.fingerprint.shape == (6,)
+
+
+def test_mc_run_batched(benchmark):
+    """The batched population engine at the gated fixture size."""
+    deck = default_spice_deck()
+    campaign = FingerprintCampaign.random_stimuli(nm=6, seed=0, noisy_bench=False)
+    engine = MonteCarloEngine(deck, campaign, numerical_noise=0.0015)
+
+    result = benchmark(lambda: engine.run(100, seed=0, engine="batched"))
+    assert result.pcms.shape[0] == 100
+    assert result.fingerprints.shape == (100, 6)
+
+
+def test_aes_batch(benchmark):
+    """Vectorized AES-128 over a (devices x plaintexts x 16) uint8 batch."""
+    rng = np.random.default_rng(0)
+    key = rng.bytes(16)
+    blocks = rng.integers(0, 256, size=(2048, 6, 16), dtype=np.uint8)
+
+    cipher = benchmark(lambda: aes128_encrypt_blocks(key, blocks))
+    assert cipher.shape == blocks.shape
+    assert cipher.dtype == np.uint8
 
 
 def test_classify_batch(benchmark, paper_detector, paper_data):

@@ -10,7 +10,12 @@ run uses and writes them to a JSON report:
 * ``mars_fit`` — the PCM -> fingerprint regressions;
 * ``mars_forward`` — the MARS forward pass alone (400 x 6 problem);
 * ``kmm_weights`` — kernel mean matching (100 train x 120 test);
-* ``mc_run`` — the 100-device Monte Carlo simulation;
+* ``mc_run`` — the 100-device Monte Carlo simulation (loop reference
+  engine, one die at a time);
+* ``mc_run_batched`` — the same simulation through the batched population
+  engine (bit-identical output, array programs over the device axis);
+* ``aes_batch`` — vectorized AES-128 over a (2048 devices x 6 blocks)
+  uint8 batch;
 * ``table1`` — the end-to-end three-stage pipeline on pre-generated data;
 * ``serve_batch`` — scoring 2048 devices against all five boundaries
   through the serving engine (the screening service's hot path).
@@ -35,10 +40,11 @@ import numpy as np
 SCHEMA_VERSION = 1
 
 #: Per-component (repeats, warmup) overrides; default is (5, 1).
-_TIMING_PLAN = {
-    "mc_run": (3, 1),
-    "table1": (3, 1),
-}
+#: The two slowest rows used best-of-3 to keep the harness quick, but this
+#: machine's timing noise is heavy-tailed (whole-VM stalls that outlast a
+#: 3-repeat window), so they take the default 5 repeats like everything
+#: else; best-of-5 keeps the gate from tripping on a stall.
+_TIMING_PLAN = {}
 
 
 def time_case(fn: Callable[[], object], repeats: int = 5, warmup: int = 1) -> float:
@@ -62,6 +68,7 @@ def build_cases(n_jobs: int = 1) -> Dict[str, Callable[[], object]]:
     """The component workloads, keyed by report name (insertion-ordered)."""
     from repro.circuits.montecarlo import MonteCarloEngine
     from repro.circuits.spicemodel import default_spice_deck
+    from repro.crypto.aes import aes128_encrypt_blocks
     from repro.core.config import DetectorConfig
     from repro.core.datasets import train_regressions
     from repro.experiments.platformcfg import PlatformConfig, generate_experiment_data
@@ -102,6 +109,8 @@ def build_cases(n_jobs: int = 1) -> Dict[str, Callable[[], object]]:
     serve_engine = ScoringEngine(serve_detector)
     reps = -(-2048 // data.dutt_fingerprints.shape[0])
     serve_batch = np.tile(data.dutt_fingerprints, (reps, 1))[:2048]
+    aes_key = rng.bytes(16)
+    aes_blocks = rng.integers(0, 256, size=(2048, 6, 16), dtype=np.uint8)
 
     return {
         "kde_density": lambda: AdaptiveKde(alpha=0.5).fit(kde_train).density(kde_eval),
@@ -114,7 +123,9 @@ def build_cases(n_jobs: int = 1) -> Dict[str, Callable[[], object]]:
         "kmm_weights": lambda: KernelMeanMatcher(B=10.0).fit(
             data.sim_pcms, data.dutt_pcms
         ),
-        "mc_run": lambda: engine.run(100, seed=0, n_jobs=n_jobs),
+        "mc_run": lambda: engine.run(100, seed=0, n_jobs=n_jobs, engine="loop"),
+        "mc_run_batched": lambda: engine.run(100, seed=0, engine="batched"),
+        "aes_batch": lambda: aes128_encrypt_blocks(aes_key, aes_blocks),
         "table1": lambda: run_table1(detector_config=bench_detector, data=data),
         "serve_batch": lambda: serve_engine.score(serve_batch),
     }

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.circuits.mosfet import DEFAULT_VDD, AlphaPowerMosfet, MosfetPolarity
 from repro.process.parameters import ProcessParameters
 
@@ -57,13 +59,14 @@ class Gate:
 
     def drive_current(self, params: ProcessParameters, vdd: float = DEFAULT_VDD) -> float:
         """Worst-case (weaker-edge) drive current in amperes."""
-        return min(
-            self.pull_down.saturation_current(params, vdd),
-            self.pull_up.saturation_current(params, vdd),
-        )
+        down = self.pull_down.saturation_current(params, vdd)
+        up = self.pull_up.saturation_current(params, vdd)
+        if np.ndim(down) == 0 and np.ndim(up) == 0:
+            return min(down, up)
+        return np.minimum(down, up)
 
     def _total_cap_ff(self, params: ProcessParameters, load_ff: float) -> float:
-        if load_ff < 0:
+        if np.any(np.asarray(load_ff) < 0):
             raise ValueError(f"load_ff must be non-negative, got {load_ff}")
         return load_ff + (self.intrinsic_cap_ff + WIRE_CAP_FF) * params.cpar
 

@@ -10,6 +10,7 @@ discrepancy comes from the deck nominal, not the bench.
 from __future__ import annotations
 
 import functools
+import logging
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -19,8 +20,11 @@ from repro.circuits.spicemodel import SpiceDeck
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
 from repro.process.parameters import ProcessParameters
+from repro.process.population import DiePopulation, sample_structure_params
 from repro.utils.parallel import parallel_map
-from repro.utils.rng import SeedLike, as_generator, spawn_seed_sequences, structure_entropy
+from repro.utils.rng import SeedLike, as_generator, spawn_seed_sequences
+
+_log = logging.getLogger("repro.montecarlo")
 
 
 @dataclass
@@ -38,17 +42,57 @@ class SimulatedDie:
     mismatch_seed: int
     _structure_cache: Dict[str, ProcessParameters] = field(default_factory=dict, repr=False)
 
+    @property
+    def variation(self):
+        """The variation model governing this die's mismatch streams."""
+        return self.deck.variation
+
     def structure_params(self, structure: str) -> ProcessParameters:
         """Local (mismatch) parameters of the named structure, deterministic."""
         if structure not in self._structure_cache:
-            seq = np.random.SeedSequence([self.mismatch_seed, *structure_entropy(structure)])
-            rng = np.random.default_rng(seq)
-            self._structure_cache[structure] = self.deck.sample_structure(self.die_params, rng)
+            self._structure_cache[structure] = sample_structure_params(
+                self.deck.variation, self.die_params, self.mismatch_seed, structure
+            )
         return self._structure_cache[structure]
 
     def label(self) -> str:
         """Identifier used in reports."""
         return f"MC{self.index}"
+
+
+def sample_device_population(deck: SpiceDeck, seeds) -> DiePopulation:
+    """Draw a whole Monte Carlo device population as parallel arrays.
+
+    ``seeds`` are the per-device seed sequences the scalar path hands to
+    :func:`_simulate_device`; each device's generator is consumed in exactly
+    the scalar order — ``1 + k_lot`` normals for the lot draw, ``1 + k_die``
+    for the die draw (a single vectorized ``standard_normal`` of that length
+    yields the identical stream), then one mismatch-seed integer — so the
+    resulting population is bitwise identical to the loop's dies.
+    """
+    seeds = list(seeds)
+    n = len(seeds)
+    variation = deck.variation
+    k_lot = variation.correlated_draw_count(variation.lot_sigma)
+    k_die = variation.correlated_draw_count(variation.die_sigma)
+    z = np.empty((n, k_lot + k_die), dtype=float)
+    mismatch = np.empty(n, dtype=np.int64)
+    for i, seed in enumerate(seeds):
+        gen = np.random.default_rng(seed)
+        z[i] = gen.standard_normal(k_lot + k_die)
+        mismatch[i] = int(gen.integers(0, 2**63 - 1))
+    lot = variation.apply_correlated(
+        deck.nominal, variation.lot_sigma, z[:, 0], z[:, 1:k_lot]
+    )
+    die = variation.apply_correlated(
+        lot, variation.die_sigma, z[:, k_lot], z[:, k_lot + 1:]
+    )
+    return DiePopulation(
+        die_params=die,
+        mismatch_seeds=mismatch,
+        variation=variation,
+        labels=[f"MC{i}" for i in range(n)],
+    )
 
 
 @dataclass
@@ -116,24 +160,43 @@ class MonteCarloEngine:
             mismatch_seed=int(gen.integers(0, 2**63 - 1)),
         )
 
-    def run(self, n: int, seed: SeedLike = None, n_jobs: int = 1) -> MonteCarloResult:
+    def run(self, n: int, seed: SeedLike = None, n_jobs: int = 1,
+            engine: str = "batched") -> MonteCarloResult:
         """Simulate ``n`` golden devices and measure PCMs + fingerprints.
 
         Every device owns a random stream spawned from ``seed`` before any
         work is dispatched, and the numerical-noise draw comes from its own
         dedicated stream, so the result is bit-identical for every ``n_jobs``
         value (including the serial path).
+
+        ``engine="batched"`` (default) draws and measures the population as
+        array programs — bit-identical to ``engine="loop"``, which simulates
+        one device at a time.  A campaign configuration the batched engine
+        cannot reproduce exactly falls back to the loop.
         """
         if n <= 0:
             raise ValueError(f"n must be positive, got {n}")
-        with span("mc.run", n=n, n_jobs=n_jobs):
+        if engine not in ("batched", "loop"):
+            raise ValueError(f"engine must be 'batched' or 'loop', got {engine!r}")
+        if engine == "batched":
+            reason = self.campaign._batch_unsupported_reason()
+            if reason is not None:
+                _log.info("batched engine unavailable (%s); falling back to loop",
+                          reason)
+                engine = "loop"
+        with span("mc.run", n=n, n_jobs=n_jobs, engine=engine):
             device_root, noise_root = spawn_seed_sequences(seed, 2)
-            worker = functools.partial(_simulate_device, self.deck, self.campaign)
-            rows = parallel_map(
-                worker, list(enumerate(device_root.spawn(n))), n_jobs=n_jobs
-            )
-            pcms = np.stack([row[0] for row in rows])
-            fingerprints = np.stack([row[1] for row in rows])
+            if engine == "batched":
+                population = sample_device_population(self.deck, device_root.spawn(n))
+                pcms, fingerprints = self.campaign.measure_population_arrays(population)
+                obs_metrics.counter("mc.devices_simulated").inc(n)
+            else:
+                worker = functools.partial(_simulate_device, self.deck, self.campaign)
+                rows = parallel_map(
+                    worker, list(enumerate(device_root.spawn(n))), n_jobs=n_jobs
+                )
+                pcms = np.stack([row[0] for row in rows])
+                fingerprints = np.stack([row[1] for row in rows])
             if self.numerical_noise > 0:
                 noise_rng = np.random.default_rng(noise_root)
                 pcms = pcms * (

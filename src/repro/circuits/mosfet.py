@@ -13,7 +13,10 @@ process-parameter correlation structure through the rest of the stack.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.process.parameters import ProcessParameters
 
@@ -30,6 +33,22 @@ DEFAULT_K_P = 1.1e-5
 
 #: Nominal supply of the synthetic 350 nm platform.
 DEFAULT_VDD = 3.3
+
+
+def elementwise_pow(base: np.ndarray, exponent: float) -> np.ndarray:
+    """``base ** exponent`` via C ``pow``, matching the scalar result exactly.
+
+    numpy's array power ufunc uses a SIMD kernel whose last bit differs from
+    the scalar ``float ** float`` path (C ``pow``) for a few percent of
+    positive inputs.  The batched population engine must reproduce the
+    scalar reference bitwise, so the one non-integer power in the compact
+    model goes through ``math.pow`` per element.  Only a handful of ``(n,)``
+    arrays are raised per population sweep, so the Python-level loop is not
+    a hot spot.
+    """
+    flat = base.ravel()
+    return np.array([math.pow(v, exponent) for v in flat.tolist()],
+                    dtype=float).reshape(base.shape)
 
 
 class MosfetPolarity(enum.Enum):
@@ -83,23 +102,34 @@ class AlphaPowerMosfet:
     def saturation_current(self, params: ProcessParameters, vdd: float = DEFAULT_VDD) -> float:
         """Saturation drain current in amperes at gate drive ``vdd``.
 
-        Raises ``ValueError`` if the device does not turn on (``vdd <= vth``),
-        which in this library always indicates a mis-configured experiment
-        rather than a legitimate operating point.
+        Accepts scalar or array-valued parameters; array fields evaluate the
+        whole population elementwise, bitwise identical to per-die scalar
+        calls.  Raises ``ValueError`` if any device does not turn on
+        (``vdd <= vth``), which in this library always indicates a
+        mis-configured experiment rather than a legitimate operating point.
         """
         vth = self.threshold(params)
         overdrive = vdd - vth
-        if overdrive <= 0:
-            raise ValueError(
-                f"device does not conduct: vdd={vdd} V <= vth={vth} V "
-                f"({self.polarity.value})"
-            )
+        if np.ndim(overdrive) == 0:
+            if overdrive <= 0:
+                raise ValueError(
+                    f"device does not conduct: vdd={vdd} V <= vth={vth} V "
+                    f"({self.polarity.value})"
+                )
+            powered = overdrive**self.alpha
+        else:
+            if np.any(overdrive <= 0):
+                raise ValueError(
+                    f"some devices do not conduct: vdd={vdd} V <= max vth="
+                    f"{np.max(vth)} V ({self.polarity.value})"
+                )
+            powered = elementwise_pow(overdrive, self.alpha)
         effective_length = self.length_um * (params.leff / 0.35)
         geometry = self.width_um / effective_length
         mobility_factor = self.mobility(params) / REFERENCE_MU
         oxide_factor = REFERENCE_TOX_NM / params.tox
         return (
-            self.k_prefactor * geometry * mobility_factor * oxide_factor * overdrive**self.alpha
+            self.k_prefactor * geometry * mobility_factor * oxide_factor * powered
         )
 
     def input_capacitance_ff(self, params: ProcessParameters) -> float:

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
+import numpy as np
+
 from repro.circuits.gates import Gate
 from repro.circuits.mosfet import DEFAULT_VDD
 from repro.process.parameters import ProcessParameters
@@ -56,16 +58,45 @@ class CriticalPath:
         return len(self.gates)
 
     def stage_delays_ns(self, params: ProcessParameters, vdd: float = DEFAULT_VDD) -> List[float]:
-        """Per-stage propagation delays in nanoseconds."""
+        """Per-stage propagation delays in nanoseconds.
+
+        Identical (gate, load) stages — the inner stages of a homogeneous
+        inverter chain — are computed once and reused: gates are frozen
+        value-compared dataclasses, and a pure function of equal inputs
+        returns equal floats, so memoization cannot change any result.  This
+        matters twice: the scalar path stops recomputing 30 identical
+        inverter delays per PCM read, and the batched path evaluates only
+        the distinct stages on ``(n,)`` arrays.
+        """
         delays = []
+        cap_cache = {}
+        delay_cache = {}
         for index, gate in enumerate(self.gates):
             if index + 1 < len(self.gates):
-                load = self.gates[index + 1].input_capacitance_ff(params)
+                next_gate = self.gates[index + 1]
+                if next_gate not in cap_cache:
+                    cap_cache[next_gate] = next_gate.input_capacitance_ff(params)
+                load = cap_cache[next_gate]
+                load_key = next_gate
             else:
                 load = self.output_load_ff
-            delays.append(gate.propagation_delay_ns(params, load_ff=load, vdd=vdd))
+                load_key = ("output_load", self.output_load_ff)
+            stage_key = (gate, load_key)
+            if stage_key not in delay_cache:
+                delay_cache[stage_key] = gate.propagation_delay_ns(
+                    params, load_ff=load, vdd=vdd
+                )
+            delays.append(delay_cache[stage_key])
         return delays
 
     def delay_ns(self, params: ProcessParameters, vdd: float = DEFAULT_VDD) -> float:
-        """Total path delay in nanoseconds."""
-        return float(sum(self.stage_delays_ns(params, vdd=vdd)))
+        """Total path delay in nanoseconds.
+
+        Array-valued parameters return an ``(n,)`` delay vector; the stages
+        accumulate left to right exactly like the scalar ``sum``, so element
+        ``i`` is bitwise identical to the scalar delay of die ``i``.
+        """
+        total = sum(self.stage_delays_ns(params, vdd=vdd))
+        if np.ndim(total) == 0:
+            return float(total)
+        return total

@@ -68,6 +68,11 @@ class DetectorConfig:
         CPU count; negative = joblib convention).  Results are bit-identical
         for every value: each boundary owns a child generator spawned from
         the master seed.
+    engine:
+        Population evaluation engine used by data-regeneration paths that
+        simulate or measure device populations: ``"batched"`` (default,
+        array programs) or ``"loop"`` (device-at-a-time reference).  Both
+        produce bit-identical measurements.
     """
 
     n_monte_carlo: int = 100
@@ -91,6 +96,7 @@ class DetectorConfig:
     boundary_method: str = "ocsvm"
     seed: Optional[int] = 11
     n_jobs: int = 1
+    engine: str = "batched"
 
     def __post_init__(self):
         if self.n_monte_carlo < 10:
@@ -126,3 +132,7 @@ class DetectorConfig:
             )
         if not isinstance(self.n_jobs, int) or isinstance(self.n_jobs, bool):
             raise ValueError(f"n_jobs must be an integer, got {self.n_jobs!r}")
+        if self.engine not in ("batched", "loop"):
+            raise ValueError(
+                f"engine must be 'batched' or 'loop', got {self.engine!r}"
+            )

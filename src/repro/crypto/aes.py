@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 # ---------------------------------------------------------------------------
 # GF(2^8) arithmetic (the AES field, reduction polynomial x^8+x^4+x^3+x+1)
 # ---------------------------------------------------------------------------
@@ -233,6 +235,73 @@ class AES128:
         state = inv_sub_bytes(state)
         state = add_round_key(state, self._round_keys[0])
         return _state_to_block(state)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized block encryption for the batched population engine.
+#
+# Every AES round operation is a byte-table lookup, a fixed permutation or a
+# XOR — integer operations with no rounding — so applying them to uint8
+# ndarrays via numpy fancy indexing is bit-identical to the scalar reference
+# by construction.  The tables are derived from the same algebraic SBOX /
+# gf_mul definitions above, not pasted constants.
+# ---------------------------------------------------------------------------
+
+_SBOX_TABLE = np.array(SBOX, dtype=np.uint8)
+_MUL2_TABLE = np.array([gf_mul(value, 2) for value in range(256)], dtype=np.uint8)
+_MUL3_TABLE = np.array([gf_mul(value, 3) for value in range(256)], dtype=np.uint8)
+#: Gather indices implementing shift_rows: out byte ``r + 4*c`` reads state
+#: byte ``r + 4*((c + r) % 4)``, the same index arithmetic as `shift_rows`.
+_SHIFT_ROWS_IDX = np.array(
+    [(i % 4) + 4 * (((i // 4) + (i % 4)) % 4) for i in range(16)], dtype=np.intp
+)
+
+
+def _mix_columns_array(state: np.ndarray) -> np.ndarray:
+    """MixColumns on a ``(..., 16)`` uint8 state array."""
+    cols = state.reshape(*state.shape[:-1], 4, 4)  # [..., column, row]
+    b0, b1, b2, b3 = (cols[..., 0], cols[..., 1], cols[..., 2], cols[..., 3])
+    out = np.empty_like(cols)
+    out[..., 0] = _MUL2_TABLE[b0] ^ _MUL3_TABLE[b1] ^ b2 ^ b3
+    out[..., 1] = b0 ^ _MUL2_TABLE[b1] ^ _MUL3_TABLE[b2] ^ b3
+    out[..., 2] = b0 ^ b1 ^ _MUL2_TABLE[b2] ^ _MUL3_TABLE[b3]
+    out[..., 3] = _MUL3_TABLE[b0] ^ b1 ^ b2 ^ _MUL2_TABLE[b3]
+    return out.reshape(state.shape)
+
+
+def aes128_encrypt_blocks(key: bytes, blocks: np.ndarray) -> np.ndarray:
+    """Encrypt a batch of 16-byte blocks with one key.
+
+    Parameters
+    ----------
+    key:
+        The 16-byte AES-128 key.
+    blocks:
+        ``uint8`` array of shape ``(..., 16)`` — e.g. ``(n_plaintexts, 16)``
+        or ``(n_devices, n_plaintexts, 16)``.  The dtype is checked rather
+        than coerced: silently casting wider integers would hide caller
+        bugs.
+
+    Returns
+    -------
+    ``uint8`` ciphertext array of the same shape; each 16-byte row equals
+    ``AES128(key).encrypt_block`` on the corresponding plaintext row.
+    """
+    blocks = np.asarray(blocks)
+    if blocks.dtype != np.uint8:
+        raise ValueError(f"blocks must be uint8, got dtype {blocks.dtype}")
+    if blocks.ndim < 1 or blocks.shape[-1] != 16:
+        raise ValueError(f"blocks must have a trailing axis of 16, got shape {blocks.shape}")
+    round_keys = np.array(expand_key(key), dtype=np.uint8)  # (11, 16)
+    state = blocks ^ round_keys[0]
+    for r in range(1, 10):
+        state = _SBOX_TABLE[state]
+        state = state[..., _SHIFT_ROWS_IDX]
+        state = _mix_columns_array(state)
+        state = state ^ round_keys[r]
+    state = _SBOX_TABLE[state]
+    state = state[..., _SHIFT_ROWS_IDX]
+    return state ^ round_keys[10]
 
 
 def aes128_encrypt_block(key: bytes, plaintext: bytes) -> bytes:

@@ -81,6 +81,13 @@ class PlatformConfig:
         Worker processes for the Monte Carlo run and the DUTT measurement
         sweep (clamped to the CPU count; negative = joblib convention).
         Results are bit-identical for every value.
+    engine:
+        Population evaluation engine: ``"batched"`` (default) simulates and
+        measures whole populations as array programs; ``"loop"`` is the
+        device-at-a-time reference.  The two produce bit-identical data;
+        the engine still enters the cache keys so each engine's artifacts
+        stay independently addressable (a cached loop run can never mask a
+        batched-engine regression).
     """
 
     nm: int = 6
@@ -97,6 +104,7 @@ class PlatformConfig:
     n_lots: int = 1
     seed: int = 16
     n_jobs: int = 1
+    engine: str = "batched"
 
     def __post_init__(self):
         if self.nm < 1:
@@ -114,6 +122,10 @@ class PlatformConfig:
             )
         if not isinstance(self.n_jobs, int) or isinstance(self.n_jobs, bool):
             raise ValueError(f"n_jobs must be an integer, got {self.n_jobs!r}")
+        if self.engine not in ("batched", "loop"):
+            raise ValueError(
+                f"engine must be 'batched' or 'loop', got {self.engine!r}"
+            )
 
 
 @dataclass
@@ -194,7 +206,8 @@ def generate_experiment_data(config: Optional[PlatformConfig] = None) -> Experim
         return artifact_cache.stage_cached(name, parts, compute)
 
     with span("platform.generate_data", n_chips=config.n_chips,
-              n_monte_carlo=config.n_monte_carlo, seed=config.seed):
+              n_monte_carlo=config.n_monte_carlo, seed=config.seed,
+              engine=config.engine):
         rng_campaign, rng_mc, rng_foundry, rng_bench = spawn_children(config.seed, 4)
 
         suite_name = config.pcm_suite_name
@@ -222,7 +235,8 @@ def generate_experiment_data(config: Optional[PlatformConfig] = None) -> Experim
             engine = MonteCarloEngine(
                 deck, sim_campaign, numerical_noise=config.sim_noise
             )
-            mc = engine.run(config.n_monte_carlo, seed=rng_mc, n_jobs=config.n_jobs)
+            mc = engine.run(config.n_monte_carlo, seed=rng_mc,
+                            n_jobs=config.n_jobs, engine=config.engine)
             return {"pcms": mc.pcms, "fingerprints": mc.fingerprints}
 
         mc_data = stage(
@@ -233,6 +247,7 @@ def generate_experiment_data(config: Optional[PlatformConfig] = None) -> Experim
                 "sim_noise": config.sim_noise,
                 "pcm_suite": suite_name,
                 "seed": config.seed,
+                "engine": config.engine,
             },
             run_monte_carlo,
         )
@@ -253,7 +268,8 @@ def generate_experiment_data(config: Optional[PlatformConfig] = None) -> Experim
             for trojan, version in trojans:
                 devices.extend(
                     bench.measure_population(
-                        dies, trojan=trojan, version=version, n_jobs=config.n_jobs
+                        dies, trojan=trojan, version=version,
+                        n_jobs=config.n_jobs, engine=config.engine,
                     )
                 )
             return {
@@ -276,6 +292,7 @@ def generate_experiment_data(config: Optional[PlatformConfig] = None) -> Experim
                 "pcm_suite": suite_name,
                 "n_lots": config.n_lots,
                 "seed": config.seed,
+                "engine": config.engine,
             },
             run_silicon,
         )

@@ -24,7 +24,7 @@ name            unit     role
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Sequence
 
 import numpy as np
 
@@ -143,6 +143,50 @@ class OperatingPointShift:
             return 0.0
         values = np.array(list(self.relative.values()), dtype=float)
         return float(np.sqrt(np.mean(values**2)))
+
+
+def stack_parameters(realizations: Sequence[ProcessParameters]) -> ProcessParameters:
+    """Stack realizations into one array-valued :class:`ProcessParameters`.
+
+    The population engine (see :mod:`repro.process.population`) represents a
+    whole device population as a single ``ProcessParameters`` whose fields
+    are ``(n,)`` float arrays.  Because every compact-model expression in
+    :mod:`repro.circuits` is a chain of elementwise ufuncs on these fields,
+    the same code evaluates one die (scalar fields) or a population (array
+    fields) with bit-identical per-element results.
+    """
+    realizations = list(realizations)
+    if not realizations:
+        raise ValueError("cannot stack an empty parameter sequence")
+    fields = {
+        name: np.array([getattr(p, name) for p in realizations], dtype=float)
+        for name in PARAMETER_NAMES
+    }
+    return ProcessParameters(**fields)
+
+
+def broadcast_parameters(params: ProcessParameters, n: int) -> ProcessParameters:
+    """Replicate scalar parameters into an ``(n,)`` array-valued stack."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    fields = {
+        name: np.full(n, float(getattr(params, name)), dtype=float)
+        for name in PARAMETER_NAMES
+    }
+    return ProcessParameters(**fields)
+
+
+def parameters_at(params: ProcessParameters, index: int) -> ProcessParameters:
+    """Extract one device's scalar parameters from an array-valued stack.
+
+    Scalar fields (e.g. an inactive variation component left unperturbed)
+    are passed through unchanged.
+    """
+    fields = {}
+    for name in PARAMETER_NAMES:
+        value = getattr(params, name)
+        fields[name] = float(value[index]) if np.ndim(value) > 0 else float(value)
+    return ProcessParameters(**fields)
 
 
 def nominal_350nm() -> ProcessParameters:

@@ -24,7 +24,7 @@ PCM-predicted fingerprints) is too tight and needs KDE tail enhancement.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
@@ -102,6 +102,47 @@ class VariationModel:
             name: getattr(base, name) * sigmas.get(name, 0.0) * rng.standard_normal()
             for name in PARAMETER_NAMES
             if sigmas.get(name, 0.0) > 0.0
+        }
+        return base.perturbed(deltas)
+
+    def active_names(self, sigmas: Dict[str, float]) -> List[str]:
+        """Parameters with a strictly positive sigma, in draw order."""
+        return [name for name in PARAMETER_NAMES if sigmas.get(name, 0.0) > 0.0]
+
+    def correlated_draw_count(self, sigmas: Dict[str, float]) -> int:
+        """Normal draws one correlated sample consumes: speed + one per active."""
+        return 1 + len(self.active_names(sigmas))
+
+    def independent_draw_count(self, sigmas: Dict[str, float]) -> int:
+        """Normal draws one independent (mismatch) sample consumes."""
+        return len(self.active_names(sigmas))
+
+    def apply_correlated(self, base: ProcessParameters, sigmas: Dict[str, float],
+                         z_speed: np.ndarray, z_own: np.ndarray) -> ProcessParameters:
+        """Vectorized :meth:`sample_lot`/:meth:`sample_die` on pre-drawn normals.
+
+        ``z_speed`` is the ``(n,)`` latent speed factor per device; ``z_own``
+        is ``(n, k)`` with one column per :meth:`active_names` entry, in that
+        order — exactly the draws the scalar path consumes per device.  The
+        per-element arithmetic matches the scalar path operation for
+        operation, so results are bitwise identical.
+        """
+        z_speed = np.asarray(z_speed, dtype=float)
+        z_own = np.asarray(z_own, dtype=float)
+        deltas = {}
+        for column, name in enumerate(self.active_names(sigmas)):
+            loading = self.speed_loading.get(name, 0.0)
+            z = loading * z_speed + np.sqrt(1.0 - loading**2) * z_own[:, column]
+            deltas[name] = getattr(base, name) * sigmas[name] * z
+        return base.perturbed(deltas)
+
+    def apply_independent(self, base: ProcessParameters, sigmas: Dict[str, float],
+                          z: np.ndarray) -> ProcessParameters:
+        """Vectorized :meth:`sample_structure` on pre-drawn ``(n, k)`` normals."""
+        z = np.asarray(z, dtype=float)
+        deltas = {
+            name: getattr(base, name) * sigmas[name] * z[:, column]
+            for column, name in enumerate(self.active_names(sigmas))
         }
         return base.perturbed(deltas)
 

@@ -55,3 +55,30 @@ class BandPassReceiver:
             return 0.0
         captured = train.pulse_energies() * self.band_response(train.center_frequencies_ghz)
         return float(np.sum(captured))
+
+    def block_powers(self, amplitudes: np.ndarray,
+                     center_frequencies_ghz: np.ndarray) -> np.ndarray:
+        """Block powers of many devices at once.
+
+        ``amplitudes`` and ``center_frequencies_ghz`` are
+        ``(n_devices, n_pulses)`` per-pulse arrays (one row per device's
+        pulse train).  Row ``i`` of the result is bitwise identical to
+        :meth:`block_power` on that row's :class:`PulseTrain`: the energy
+        expression matches
+        :meth:`~repro.rf.pulse.PulseTrain.pulse_energies` operation for
+        operation, and a contiguous 2-D ``np.sum`` over the pulse axis uses
+        the same pairwise reduction as the per-row 1-D sum.
+        """
+        amplitudes = np.asarray(amplitudes, dtype=float)
+        frequencies = np.asarray(center_frequencies_ghz, dtype=float)
+        if amplitudes.shape != frequencies.shape:
+            raise ValueError(
+                f"amplitudes shape {amplitudes.shape} != frequencies shape "
+                f"{frequencies.shape}"
+            )
+        if amplitudes.shape[-1] == 0:
+            return np.zeros(amplitudes.shape[:-1], dtype=float)
+        sigma = 1.0 / (2.0 * np.pi * frequencies)
+        energies = amplitudes**2 * sigma * np.e * np.sqrt(np.pi) / 2.0
+        captured = energies * self.band_response(frequencies)
+        return np.sum(np.ascontiguousarray(captured), axis=-1)

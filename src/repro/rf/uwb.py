@@ -137,3 +137,26 @@ class UwbTransmitter:
             amplitudes=amplitudes,
             center_frequencies_ghz=frequencies,
         )
+
+
+def population_output_amplitude(pa_params: ProcessParameters,
+                                vdd: float = DEFAULT_VDD) -> np.ndarray:
+    """Per-device PA output amplitude for array-valued local parameters.
+
+    Element ``i`` is bitwise identical to
+    ``UwbTransmitter(pa_params=<die i>).output_amplitude()`` — the same
+    current expression followed by the same rail clip (``np.minimum``
+    selects the identical float the scalar ``min`` does).
+    """
+    current = UwbTransmitter._pa_device.saturation_current(pa_params, vdd)
+    amplitude = current * ANTENNA_LOAD_OHM
+    return np.minimum(amplitude, 0.95 * vdd)
+
+
+def population_center_frequency_ghz(shaper_params: ProcessParameters,
+                                    vdd: float = DEFAULT_VDD) -> np.ndarray:
+    """Per-device pulse centre frequency for array-valued local parameters."""
+    current = UwbTransmitter._shaper_device.saturation_current(shaper_params, vdd)
+    cap_f = SHAPER_CAP_FF * shaper_params.cpar * 1e-15
+    delay_s = cap_f * vdd / current
+    return SHAPER_FREQ_SCALE / (delay_s * 1e9)

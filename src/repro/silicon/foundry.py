@@ -16,9 +16,10 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.process.parameters import OperatingPointShift, ProcessParameters
+from repro.process.population import sample_structure_params
 from repro.process.variation import VariationModel
 from repro.process.wafer import DieSite, Lot
-from repro.utils.rng import SeedLike, as_generator, structure_entropy
+from repro.utils.rng import SeedLike, as_generator
 
 
 @dataclass
@@ -45,19 +46,20 @@ class FabricatedDie:
     _structure_cache: Dict[str, ProcessParameters] = field(default_factory=dict, repr=False)
 
     def structure_params(self, structure: str) -> ProcessParameters:
-        """Local process parameters of the named on-die structure."""
+        """Local process parameters of the named on-die structure.
+
+        Delegates to :func:`~repro.process.population.sample_structure_params`
+        — the single definition of the per-(die, structure) RNG stream
+        contract shared with the batched population engine.
+        """
         if structure not in self._structure_cache:
-            # Stable per-(die, structure) stream: mix the structure name's
-            # byte values into the die's seed sequence.
-            seq = np.random.SeedSequence([self.mismatch_seed, *structure_entropy(structure)])
-            rng = np.random.default_rng(seq)
-            local = self.variation.sample_structure(self.die_params, rng)
-            for key, shifts in self.analog_model_error.items():
-                if key in structure:
-                    local = local.perturbed(
-                        {name: getattr(local, name) * rel for name, rel in shifts.items()}
-                    )
-            self._structure_cache[structure] = local
+            self._structure_cache[structure] = sample_structure_params(
+                self.variation,
+                self.die_params,
+                self.mismatch_seed,
+                structure,
+                analog_model_error=self.analog_model_error,
+            )
         return self._structure_cache[structure]
 
     def label(self) -> str:

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
+import numpy as np
+
 from repro.circuits.gates import inverter, nand2, nor2
 from repro.circuits.mosfet import DEFAULT_VDD
 from repro.circuits.path import CriticalPath
@@ -129,6 +131,27 @@ class PCMSuite:
     def measure(self, params: ProcessParameters) -> List[float]:
         """Noise-free measurements of every monitor under ``params``."""
         return [monitor.measure(params) for monitor in self.monitors]
+
+    def measure_population(self, population) -> np.ndarray:
+        """Noise-free ``(n_devices, np)`` PCM matrix of a whole population.
+
+        ``population`` is a :class:`~repro.process.population.DiePopulation`;
+        each monitor reads its own on-die structure (``pcm.<name>``), the
+        same naming the scalar
+        :meth:`~repro.testbed.campaign.FingerprintCampaign.pcm_vector` uses,
+        so row ``i`` is bitwise identical to the scalar PCM vector of die
+        ``i``.  Every monitor's compact model is a chain of elementwise
+        ufuncs, so the batched read is one pass over ``(n,)`` arrays per
+        monitor.
+        """
+        columns = [
+            np.asarray(
+                monitor.measure(population.structure_params(f"pcm.{monitor.name}")),
+                dtype=float,
+            )
+            for monitor in self.monitors
+        ]
+        return np.stack(columns, axis=1)
 
     @classmethod
     def paper_default(cls) -> "PCMSuite":

@@ -32,6 +32,7 @@ class QpResult:
     objective: float
     converged: bool
     message: str
+    iterations: int = 0
 
 
 def solve_qp(
@@ -115,4 +116,5 @@ def solve_qp(
         objective=float(result.fun),
         converged=bool(result.success),
         message=str(result.message),
+        iterations=int(getattr(result, "nit", 0)),
     )

@@ -15,23 +15,31 @@ measured under identical stimuli.
 
 from __future__ import annotations
 
-import functools
+import logging
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
-from repro.crypto.bits import random_block, random_key
+from repro.crypto.aes import aes128_encrypt_blocks
+from repro.crypto.bits import bytes_to_bits, random_block, random_key
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
+from repro.process.population import DiePopulation
 from repro.rf.channel import AwgnChannel
 from repro.rf.receiver import BandPassReceiver
-from repro.silicon.instruments import DelayAnalyzer, PowerMeter
+from repro.rf.uwb import population_center_frequency_ghz, population_output_amplitude
+from repro.silicon.instruments import DelayAnalyzer, Instrument, PowerMeter
 from repro.silicon.pcm import PCMSuite
 from repro.testbed.chip import WirelessCryptoChip
 from repro.trojans.base import TrojanModel
 from repro.utils.parallel import parallel_map
 from repro.utils.rng import SeedLike, as_generator
+
+#: Valid values for the ``engine`` argument of :meth:`measure_population`.
+ENGINES = ("batched", "loop")
+
+_log = logging.getLogger("repro.campaign")
 
 
 @dataclass
@@ -214,46 +222,220 @@ class FingerprintCampaign:
         trojan: Optional[TrojanModel] = None,
         version: str = "TF",
         n_jobs: int = 1,
+        engine: str = "batched",
     ) -> List[MeasuredDevice]:
         """Measure one design version across a die population.
 
+        ``engine="batched"`` (the default) evaluates the whole population as
+        array programs — one AES encryption per plaintext, vectorized analog
+        models, batched instrument noise — and produces *bit-identical*
+        results to ``engine="loop"``, which measures one die at a time.
+        Configurations the batched engine cannot reproduce exactly (a fading
+        channel's stateful per-pulse stream, legacy shared-stream
+        instruments) silently fall back to the loop.
+
         With ``instrument_root`` set (see :meth:`silicon_bench`), each device
         is measured with instruments seeded from its own spawned stream —
-        bit-identical for any ``n_jobs``.  A noise-free campaign is
-        deterministic per die and parallelizes directly.  A legacy bench
-        whose instruments share one stateful stream is order-dependent and
-        always measured serially.
+        bit-identical for any ``n_jobs`` and either engine.  A noise-free
+        campaign is deterministic per die and parallelizes directly.  A
+        legacy bench whose instruments share one stateful stream is
+        order-dependent and always measured serially.
         """
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         dies = list(dies)
         with span("campaign.measure_population", version=version,
-                  n=len(dies), n_jobs=n_jobs):
+                  n=len(dies), n_jobs=n_jobs, engine=engine):
+            if engine == "batched" and dies:
+                reason = self._batch_unsupported_reason()
+                if reason is None:
+                    return self._measure_population_batched(dies, trojan, version)
+                _log.info("batched engine unavailable (%s); falling back to loop",
+                          reason)
             if self.instrument_root is not None:
                 # Stateful spawn: consecutive populations (TF, T1, T2 sweeps)
                 # get fresh, non-overlapping per-device seeds in call order.
                 seeds = self.instrument_root.spawn(len(dies))
-                worker = functools.partial(
-                    _measure_with_fresh_instruments, self, trojan, version
+                return parallel_map(
+                    _measure_seeded_item,
+                    list(zip(dies, seeds)),
+                    n_jobs=n_jobs,
+                    initializer=_init_measure_worker,
+                    initargs=(self, trojan, version),
                 )
-                return parallel_map(worker, list(zip(dies, seeds)), n_jobs=n_jobs)
             if self.power_meter is None and self.delay_analyzer is None:
-                worker = functools.partial(_measure_noise_free, self, trojan, version)
-                return parallel_map(worker, dies, n_jobs=n_jobs)
+                return parallel_map(
+                    _measure_noise_free_item,
+                    dies,
+                    n_jobs=n_jobs,
+                    initializer=_init_measure_worker,
+                    initargs=(self, trojan, version),
+                )
             return [
                 self.measure_device(die, trojan=trojan, version=version)
                 for die in dies
             ]
 
+    # ------------------------------------------------------------------
+    # batched engine
+    # ------------------------------------------------------------------
 
-def _measure_noise_free(campaign: FingerprintCampaign, trojan, version, die) -> MeasuredDevice:
+    def _batch_unsupported_reason(self) -> Optional[str]:
+        """Why this campaign cannot be measured batched (``None`` = it can)."""
+        if self.channel is not None and self.channel.fading_sigma > 0:
+            return "channel fading consumes a stateful per-pulse random stream"
+        if (self.power_meter is not None or self.delay_analyzer is not None) \
+                and self.instrument_root is None:
+            return "legacy shared-stream instruments are measurement-order dependent"
+        return None
+
+    def _measure_population_batched(self, dies, trojan, version) -> List[MeasuredDevice]:
+        population = DiePopulation.from_dies(dies)
+        seeds = None
+        if self.instrument_root is not None:
+            # Same stateful spawn as the loop path, so TF/T1/T2 sweeps see
+            # the same per-device seeds regardless of engine.
+            seeds = self.instrument_root.spawn(len(dies))
+        pcms, fingerprints = self.measure_population_arrays(
+            population, trojan=trojan, version=version, instrument_seeds=seeds
+        )
+        devices = [
+            MeasuredDevice(
+                label=f"{population.label(i)}/{version}",
+                pcms=pcms[i].copy(),
+                fingerprint=fingerprints[i].copy(),
+                infested=trojan is not None,
+                trojan_name=trojan.name if trojan is not None else "none",
+            )
+            for i in range(len(dies))
+        ]
+        return devices
+
+    def measure_population_arrays(
+        self,
+        population: DiePopulation,
+        trojan: Optional[TrojanModel] = None,
+        version: str = "TF",
+        instrument_seeds=None,
+    ):
+        """Batched measurement core: ``(pcms, fingerprints)`` matrices.
+
+        Returns the ``(n, np)`` PCM matrix and ``(n, nm)`` fingerprint matrix
+        of the population; row ``i`` is bitwise identical to
+        :meth:`measure_device` on die ``i`` (measured with per-device
+        instruments seeded from ``instrument_seeds[i]``, when given).
+
+        Three facts make exactness possible:
+
+        * ciphertexts depend only on (key, plaintext), so each block is
+          encrypted once — not once per device — and every die shares the
+          same pulse positions;
+        * the analog compact models are chains of elementwise ufuncs, which
+          numpy evaluates identically for scalars and arrays (the one
+          exception, ``x ** alpha``, is routed through ``math.pow`` — see
+          :func:`repro.circuits.mosfet.elementwise_pow`);
+        * instrument noise consumes per-device generator streams in the
+          same (reading-ordered) sequence the scalar bench does.
+        """
+        with span("campaign.measure_arrays", n=len(population),
+                  nm=self.nm, np=self.np_dim, version=version):
+            pcms = self.pcm_suite.measure_population(population)
+            fingerprints = self._population_fingerprints(population, trojan, version)
+        obs_metrics.counter("campaign.devices_measured").inc(len(population))
+        if instrument_seeds is not None:
+            delay_z = power_z = None
+            if self.delay_analyzer is not None:
+                delay_z = np.empty((len(population), 2 * self.np_dim))
+            if self.power_meter is not None:
+                power_z = np.empty((len(population), 2 * self.nm))
+            for i, seed in enumerate(instrument_seeds):
+                # Mirrors the per-device bench build: spawn (power, delay)
+                # streams, then consume readings in measurement order —
+                # PCMs on the delay stream, then block powers on the power
+                # stream — two normals (gain z, offset z) per reading.
+                power_seq, delay_seq = seed.spawn(2)
+                if delay_z is not None:
+                    delay_z[i] = np.random.default_rng(delay_seq).standard_normal(
+                        2 * self.np_dim
+                    )
+                if power_z is not None:
+                    power_z[i] = np.random.default_rng(power_seq).standard_normal(
+                        2 * self.nm
+                    )
+            if delay_z is not None:
+                pcms = _apply_instrument_noise(pcms, delay_z, self.delay_analyzer)
+            if power_z is not None:
+                fingerprints = _apply_instrument_noise(
+                    fingerprints, power_z, self.power_meter
+                )
+        return pcms, fingerprints
+
+    def _population_fingerprints(self, population, trojan, version) -> np.ndarray:
+        """Noise-free ``(n, nm)`` block-power fingerprints of a population."""
+        key_bits = bytes_to_bits(self.key)
+        blocks = np.frombuffer(b"".join(self.plaintexts), dtype=np.uint8)
+        cipher_bits = np.unpackbits(
+            aes128_encrypt_blocks(self.key, blocks.reshape(self.nm, 16)), axis=1
+        )
+        amplitude = population_output_amplitude(
+            population.structure_params(f"{version}.uwb_pa")
+        )
+        frequency = population_center_frequency_ghz(
+            population.structure_params(f"{version}.uwb_shaper")
+        )
+        n = len(population)
+        powers = np.empty((n, self.nm), dtype=float)
+        for j in range(self.nm):
+            emitted = np.flatnonzero(cipher_bits[j] == 1)
+            amps = np.broadcast_to(amplitude[:, None], (n, emitted.size))
+            freqs = np.broadcast_to(frequency[:, None], (n, emitted.size))
+            if trojan is not None:
+                amps, freqs = trojan.modulate_population(
+                    emitted, key_bits[emitted], amps, freqs
+                )
+            if self.channel is not None:
+                # Only the fading-free channel reaches here (see
+                # _batch_unsupported_reason); its gain vector is a constant.
+                amps = amps * self.channel.path_gain
+            powers[:, j] = self.receiver.block_powers(amps, freqs)
+        return powers
+
+
+def _apply_instrument_noise(true_values: np.ndarray, z: np.ndarray,
+                            instrument: Instrument) -> np.ndarray:
+    """Vectorized :meth:`Instrument.read` over pre-drawn normals.
+
+    ``z`` interleaves (gain z, offset z) per reading, matching the two
+    sequential scalar draws ``read`` makes.
+    """
+    gains = 1.0 + instrument.gain_sigma * z[:, 0::2]
+    return true_values * gains + instrument.offset_sigma * z[:, 1::2]
+
+
+#: Per-worker measurement state installed by :func:`_init_measure_worker`;
+#: ships the campaign once per worker process instead of once per item.
+_WORKER_STATE: dict = {}
+
+
+def _init_measure_worker(campaign: FingerprintCampaign, trojan, version) -> None:
+    """Process-pool initializer: stash the shared measurement context."""
+    _WORKER_STATE["campaign"] = campaign
+    _WORKER_STATE["trojan"] = trojan
+    _WORKER_STATE["version"] = version
+
+
+def _measure_noise_free_item(die) -> MeasuredDevice:
     """Measure one die on an instrument-free campaign (picklable worker)."""
-    return campaign.measure_device(die, trojan=trojan, version=version)
+    campaign = _WORKER_STATE["campaign"]
+    return campaign.measure_device(
+        die, trojan=_WORKER_STATE["trojan"], version=_WORKER_STATE["version"]
+    )
 
 
-def _measure_with_fresh_instruments(
-    campaign: FingerprintCampaign, trojan, version, item
-) -> MeasuredDevice:
+def _measure_seeded_item(item) -> MeasuredDevice:
     """Measure one die with per-device instrument streams (picklable worker)."""
     die, seed = item
+    campaign = _WORKER_STATE["campaign"]
     power_seq, delay_seq = seed.spawn(2)
     local = FingerprintCampaign(
         key=campaign.key,
@@ -272,4 +454,6 @@ def _measure_with_fresh_instruments(
             else None
         ),
     )
-    return local.measure_device(die, trojan=trojan, version=version)
+    return local.measure_device(
+        die, trojan=_WORKER_STATE["trojan"], version=_WORKER_STATE["version"]
+    )

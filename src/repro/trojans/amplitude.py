@@ -45,5 +45,20 @@ class AmplitudeModulationTrojan(TrojanModel):
         scale = np.where(np.asarray(leaked_bits) == 0, 1.0 + self.depth, 1.0)
         return np.asarray(amplitudes) * scale, np.asarray(center_frequencies_ghz).copy()
 
+    def modulate_population(
+        self,
+        bit_indices: np.ndarray,
+        leaked_bits: np.ndarray,
+        amplitudes: np.ndarray,
+        center_frequencies_ghz: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        self._validate(bit_indices, leaked_bits, amplitudes[0], center_frequencies_ghz[0])
+        # The scale vector is a function of the leaked key bits only, so it is
+        # shared by every device row and broadcasts over the device axis —
+        # producing the exact multiply the per-device loop would.
+        scale = np.where(np.asarray(leaked_bits) == 0, 1.0 + self.depth, 1.0)
+        return (np.asarray(amplitudes) * scale,
+                np.array(center_frequencies_ghz, dtype=float))
+
     def __repr__(self) -> str:
         return f"AmplitudeModulationTrojan(depth={self.depth})"

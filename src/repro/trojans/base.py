@@ -45,6 +45,33 @@ class TrojanModel(abc.ABC):
             The possibly-modulated arrays (new arrays; inputs untouched).
         """
 
+    def modulate_population(
+        self,
+        bit_indices: np.ndarray,
+        leaked_bits: np.ndarray,
+        amplitudes: np.ndarray,
+        center_frequencies_ghz: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`modulate` over a device population.
+
+        ``amplitudes`` / ``center_frequencies_ghz`` are
+        ``(n_devices, n_pulses)``; ``bit_indices`` / ``leaked_bits`` are the
+        shared ``(n_pulses,)`` emission pattern (the ciphertext, and hence
+        the pulse positions, do not depend on the die).  The base
+        implementation loops :meth:`modulate` per device — correct for any
+        Trojan; the concrete Trojans override it with a broadcast that is
+        bitwise identical to the loop.
+        """
+        rows = [
+            self.modulate(bit_indices, leaked_bits, amplitudes[i],
+                          center_frequencies_ghz[i])
+            for i in range(amplitudes.shape[0])
+        ]
+        return (
+            np.stack([amp for amp, _ in rows]),
+            np.stack([freq for _, freq in rows]),
+        )
+
     @staticmethod
     def _validate(bit_indices: np.ndarray, leaked_bits: np.ndarray,
                   amplitudes: np.ndarray, center_frequencies_ghz: np.ndarray) -> None:

@@ -46,5 +46,19 @@ class FrequencyModulationTrojan(TrojanModel):
         scale = np.where(np.asarray(leaked_bits) == 0, 1.0 + self.depth, 1.0)
         return np.asarray(amplitudes).copy(), np.asarray(center_frequencies_ghz) * scale
 
+    def modulate_population(
+        self,
+        bit_indices: np.ndarray,
+        leaked_bits: np.ndarray,
+        amplitudes: np.ndarray,
+        center_frequencies_ghz: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        self._validate(bit_indices, leaked_bits, amplitudes[0], center_frequencies_ghz[0])
+        # Shared per-pulse scale broadcast over the device axis; bitwise the
+        # same multiply as the per-device loop.
+        scale = np.where(np.asarray(leaked_bits) == 0, 1.0 + self.depth, 1.0)
+        return (np.array(amplitudes, dtype=float),
+                np.asarray(center_frequencies_ghz) * scale)
+
     def __repr__(self) -> str:
         return f"FrequencyModulationTrojan(depth={self.depth})"

@@ -62,6 +62,8 @@ def parallel_map(
     items: Iterable,
     n_jobs: Optional[int] = 1,
     cpu_count: Optional[int] = None,
+    initializer: Optional[Callable] = None,
+    initargs: Sequence = (),
 ) -> List:
     """Apply ``fn`` to every item, optionally across a process pool.
 
@@ -70,7 +72,18 @@ def parallel_map(
     ``n_jobs`` value.  ``fn`` and the items must be picklable when a pool is
     used; if the pool cannot be built or breaks, the remaining work runs
     serially in-process.
+
+    ``initializer(*initargs)`` runs once per worker process before any item
+    (and once in-process on the serial path), letting callers ship large
+    shared state — a campaign object, a model — per *worker* instead of
+    re-pickling it with every item.
     """
+
+    def _serial() -> List:
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(item) for item in items]
+
     items = list(items)
     workers = min(resolve_n_jobs(n_jobs, cpu_count=cpu_count), len(items))
     if workers <= 1:
@@ -79,16 +92,16 @@ def parallel_map(
             # misconfiguration this log line exists to surface.
             _log.info("serial map of %d items (n_jobs=%r resolved to 1 worker)",
                       len(items), n_jobs)
-        return [fn(item) for item in items]
+        return _serial()
     try:
         # Closures and lambdas are not picklable; pickle signals this with
         # a mix of PicklingError / AttributeError / TypeError depending on
         # the payload, so probe once up front instead of enumerating them.
-        pickle.dumps(fn)
+        pickle.dumps((fn, initializer, tuple(initargs)))
     except Exception:
         _log.warning("payload %r is not picklable; running %d items serially",
                      getattr(fn, "__name__", fn), len(items))
-        return [fn(item) for item in items]
+        return _serial()
     chunksize = max(1, len(items) // (workers * 2))
     # When tracing is enabled, each work item runs under a fresh worker
     # tracer and hands its spans/metrics back with the result; the wrapper
@@ -98,11 +111,12 @@ def parallel_map(
     _log.info("starting process pool: %d workers, %d items, chunksize %d",
               workers, len(items), chunksize)
     try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(max_workers=workers, initializer=initializer,
+                                 initargs=tuple(initargs)) as pool:
             results = list(pool.map(task, items, chunksize=chunksize))
         _log.info("process pool finished: %d results", len(results))
         return unwrap_pool_results(results)
     except _POOL_FAILURES as failure:
         _log.warning("process pool failed (%s: %s); falling back to serial",
                      type(failure).__name__, failure)
-        return [fn(item) for item in items]
+        return _serial()

@@ -31,23 +31,29 @@ def engine():
 
 
 class TestMonteCarloBitIdentity:
+    # The pooled runs pin ``engine="loop"`` — only the loop engine
+    # dispatches per-device work items to a pool (the batched engine is one
+    # serial array program) — so each assertion covers pool-vs-serial *and*
+    # loop-vs-batched identity at once.
+
     def test_pool_matches_serial(self, engine):
         serial = engine.run(16, seed=123, n_jobs=1)
         with _with_fake_cores(4):
-            pooled = engine.run(16, seed=123, n_jobs=4)
+            pooled = engine.run(16, seed=123, n_jobs=4, engine="loop")
         np.testing.assert_array_equal(pooled.pcms, serial.pcms)
         np.testing.assert_array_equal(pooled.fingerprints, serial.fingerprints)
 
     def test_generator_seed_also_invariant(self, engine):
         serial = engine.run(10, seed=np.random.default_rng(5), n_jobs=1)
         with _with_fake_cores(4):
-            pooled = engine.run(10, seed=np.random.default_rng(5), n_jobs=4)
+            pooled = engine.run(10, seed=np.random.default_rng(5), n_jobs=4,
+                                engine="loop")
         np.testing.assert_array_equal(pooled.fingerprints, serial.fingerprints)
 
     def test_excess_workers_are_harmless(self, engine):
         serial = engine.run(6, seed=1, n_jobs=1)
         with _with_fake_cores(4):
-            pooled = engine.run(6, seed=1, n_jobs=-1)
+            pooled = engine.run(6, seed=1, n_jobs=-1, engine="loop")
         np.testing.assert_array_equal(pooled.fingerprints, serial.fingerprints)
 
 
@@ -57,8 +63,10 @@ class TestExperimentBitIdentity:
         # the noisy-instrument silicon measurement sweep (TF + T1 + T2).
         serial = generate_experiment_data(small_platform(n_chips=8, n_monte_carlo=20))
         with _with_fake_cores(4):
+            # engine="loop" so the pools actually engage (the default
+            # batched engine runs serially); also cross-checks the engines.
             pooled = generate_experiment_data(
-                small_platform(n_chips=8, n_monte_carlo=20, n_jobs=4)
+                small_platform(n_chips=8, n_monte_carlo=20, n_jobs=4, engine="loop")
             )
         np.testing.assert_array_equal(pooled.sim_pcms, serial.sim_pcms)
         np.testing.assert_array_equal(pooled.sim_fingerprints, serial.sim_fingerprints)
@@ -129,7 +137,7 @@ class TestTracingBitIdentity:
         plain = engine.run(12, seed=77, n_jobs=1)
         obs.enable()
         with _with_fake_cores(4):
-            traced = engine.run(12, seed=77, n_jobs=4)
+            traced = engine.run(12, seed=77, n_jobs=4, engine="loop")
         spans, _ = obs.disable()
         assert any(s.worker is not None for s in spans), "pool did not engage"
         np.testing.assert_array_equal(traced.pcms, plain.pcms)

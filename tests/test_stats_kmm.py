@@ -116,7 +116,10 @@ class TestKmmProblem:
         problem = KmmProblem(train, test)
         before = problem.sq_dists_.copy()
         base = problem.median_gamma()
-        matchers = problem.sweep([0.5 * base, base, 2.0 * base], B=10.0)
+        # warm_start=False keeps every arm bit-identical to a one-shot fit;
+        # the warm-started default is covered by TestSweepWarmStart.
+        matchers = problem.sweep([0.5 * base, base, 2.0 * base], B=10.0,
+                                 warm_start=False)
         # The pooled distances are pristine after a sweep (kernels use copies).
         np.testing.assert_array_equal(problem.sq_dists_, before)
         assert [m.effective_gamma_ for m in matchers] == [
@@ -128,6 +131,35 @@ class TestKmmProblem:
                 B=10.0, gamma=matcher.effective_gamma_
             ).fit(train, test)
             np.testing.assert_array_equal(matcher.weights, direct.weights)
+
+    def test_warm_start_matches_cold_within_solver_tolerance(self):
+        from repro.stats.kmm import KmmProblem
+
+        # Small enough that every arm converges within the iteration budget
+        # (warm starts only chain from converged solutions).
+        rng = np.random.default_rng(0)
+        train = rng.normal(size=(60, 2))
+        test = rng.normal(loc=0.3, size=(50, 2))
+        problem = KmmProblem(train, test)
+        base = problem.median_gamma()
+        gammas = [base, 2.0 * base, 4.0 * base]
+        cold = problem.sweep(gammas, B=10.0, warm_start=False)
+        warm = problem.sweep(gammas, B=10.0, warm_start=True)
+        for c, w in zip(cold, warm):
+            assert c.converged_ and w.converged_
+            # Same strictly convex QP solved to the same ftol from two
+            # starting points: converged weights agree to solver tolerance.
+            np.testing.assert_allclose(w.weights, c.weights, atol=5e-3)
+            assert abs(w.rkhs_residual_ - c.rkhs_residual_) < 1e-9
+        # The first arm has no warm start yet and is bit-identical.
+        np.testing.assert_array_equal(warm[0].weights, cold[0].weights)
+
+    def test_fit_problem_records_qp_iterations(self, shifted_data):
+        from repro.stats.kmm import KmmProblem
+
+        train, test = shifted_data
+        matcher = KernelMeanMatcher(B=10.0).fit_problem(KmmProblem(train, test))
+        assert matcher.qp_iterations_ > 0
 
     def test_median_gamma_matches_one_shot_path(self, shifted_data):
         from repro.stats.kmm import KmmProblem
